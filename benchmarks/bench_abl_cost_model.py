@@ -1,0 +1,63 @@
+"""Ablation: the analytic convergence model vs exact counters.
+
+Cracking is an incremental quicksort (paper, §4.1), so its per-query
+cost has a closed first-order form: ``~2N/q`` rows classified by query
+``q``, harmonic cumulative cost ``~2N ln q``.  The engines count
+comparisons exactly (machine-independently), so the model is checked
+against ground truth rather than wall-clock noise.  This is the
+analytic backbone behind the Figure 6 flattening.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench.cost_model import (
+    expected_cumulative_comparisons,
+    measure_against_model,
+    model_accuracy,
+)
+from repro.bench.reporting import ascii_chart, format_table, save_report
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+SIZE = 2000 if FAST else 20000
+QUERIES = 50 if FAST else 300
+
+
+def test_cost_model(benchmark):
+    series = measure_against_model(
+        column_size=SIZE, query_count=QUERIES, seed=0
+    )
+    accuracy = model_accuracy(series)
+    measured_total = float(np.sum(series["measured"]))
+    predicted_total = expected_cumulative_comparisons(SIZE, QUERIES)
+
+    sample_rows = []
+    for q in (1, 2, 5, 10, QUERIES // 4, QUERIES // 2, QUERIES):
+        sample_rows.append(
+            [q, series["measured"][q - 1], series["predicted"][q - 1]]
+        )
+    chart = ascii_chart(
+        "Crack cost per query: measured vs 2N/q model (log-log)",
+        series["query"],
+        {"measured": series["measured"], "model 2N/q": series["predicted"]},
+    )
+    report = (
+        "Cost-model ablation (%d rows, %d queries)\n" % (SIZE, QUERIES)
+        + format_table(
+            ["query", "measured rows classified", "model 2N/q"], sample_rows
+        )
+        + "\n\nmodel accuracy (median |log2 measured/model|): %.3f" % accuracy
+        + "\ncumulative: measured %.0f vs model %.0f"
+        % (measured_total, predicted_total)
+        + "\n\n" + chart
+    )
+    save_report("abl_cost_model.txt", report)
+    print("\n" + report)
+
+    # Window-averaged per-query costs track the model within a factor
+    # of two (|log2 ratio| <= 1), and cumulative within a factor 2.
+    assert accuracy <= 1.0
+    assert predicted_total / 2 <= measured_total <= predicted_total * 2
+
+    benchmark(lambda: model_accuracy(series))

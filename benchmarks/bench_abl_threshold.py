@@ -1,0 +1,59 @@
+"""Ablation: the piece-size cracking threshold (Section 2.2).
+
+Paper claims: "queries only cause reorganization for data pieces
+larger than a size threshold; that threshold can be bigger (e.g., L3
+cache size) without a significant performance drop" — and the
+threshold is what prevents the index from ever leaking the total
+order.
+
+Measured: growing the threshold shrinks the cracker tree and caps the
+resolved-order fraction, while total workload time stays within a
+small factor of always-crack.
+"""
+
+import os
+
+from repro.bench.figures import ablation_threshold
+from repro.bench.reporting import format_table, save_report
+
+FAST = os.environ.get("REPRO_BENCH_FAST") == "1"
+SIZE = 2000 if FAST else 20000
+QUERIES = 50 if FAST else 300
+THRESHOLDS = (1, 64, 512) if FAST else (1, 64, 256, 1024, 4096)
+
+
+def test_threshold(benchmark):
+    out = ablation_threshold(
+        size=SIZE, thresholds=THRESHOLDS, query_count=QUERIES, seed=0
+    )
+    rows = [
+        [
+            threshold,
+            out[threshold]["total_seconds"],
+            int(out[threshold]["tree_nodes"]),
+            out[threshold]["resolved_order_fraction"],
+        ]
+        for threshold in THRESHOLDS
+    ]
+    report = "Piece-size threshold ablation (Section 2.2)\n" + format_table(
+        ["min piece size", "workload seconds", "tree nodes", "resolved order"],
+        rows,
+    )
+    save_report("abl_threshold.txt", report)
+    print("\n" + report)
+
+    nodes = [out[t]["tree_nodes"] for t in THRESHOLDS]
+    assert nodes == sorted(nodes, reverse=True)
+    leak = [out[t]["resolved_order_fraction"] for t in THRESHOLDS]
+    assert leak[-1] < leak[0]
+    # "Without a significant performance drop": the largest threshold
+    # stays within an order of magnitude of always-crack.
+    assert out[THRESHOLDS[-1]]["total_seconds"] < 10 * max(
+        out[THRESHOLDS[0]]["total_seconds"], 1e-3
+    )
+
+    from repro.cracking.index import AdaptiveIndex
+    from repro.workloads.datasets import unique_uniform
+
+    engine = AdaptiveIndex(unique_uniform(SIZE, seed=1), min_piece_size=256)
+    benchmark(lambda: engine.query(0, 2 ** 29))

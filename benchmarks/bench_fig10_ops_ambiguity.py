@@ -1,0 +1,38 @@
+"""Figure 10: per-operation cost per query, encrypted with ambiguity.
+
+Paper: same trends as encrypted data with higher cracking peaks early
+(physical reorganisation also moves the fake interpretations — the
+column is twice as long); crack cost still collapses as the workload
+evolves, with some fluctuation depending on where query bounds fall.
+"""
+
+import numpy as np
+
+from bench_fig8_ops_plain import render_ops
+from conftest import QUERY_COUNT, SIZES
+from repro.bench.reporting import save_report
+
+
+def test_figure10(grid_traces, benchmark):
+    report = render_ops(grid_traces, "ambiguous", SIZES, QUERY_COUNT)
+    save_report("fig10_ops_ambiguity.txt", report)
+    print("\n" + report)
+
+    for size in SIZES:
+        ambiguous = grid_traces[("ambiguous", size)]
+        encrypted = grid_traces[("encrypted", size)]
+        early_ambiguous = float(np.mean(ambiguous.crack_seconds[:5]))
+        early_encrypted = float(np.mean(encrypted.crack_seconds[:5]))
+        # Ambiguity doubles the rows to reorganise: early cracks cost
+        # more than without ambiguity.
+        assert early_ambiguous > early_encrypted
+        late = float(np.mean(ambiguous.crack_seconds[-QUERY_COUNT // 5:]))
+        assert late < early_ambiguous
+
+    from repro.bench.harness import build_session
+    from repro.workloads.datasets import unique_uniform
+
+    session = build_session(
+        unique_uniform(SIZES[0], seed=6), "ambiguous", seed=6
+    )
+    benchmark(lambda: session.query(10, 2 ** 30))

@@ -1,0 +1,65 @@
+"""Figure 11: cracking time per query, per data type, growing sizes.
+
+Paper: all three data types show the same decaying trend, shifted by
+the cost of encryption (vector comparisons) and ambiguity (double
+rows); crack time grows with data size at every point in the sequence.
+"""
+
+import numpy as np
+
+from conftest import QUERY_COUNT, SIZES
+from repro.bench.reporting import ascii_chart, format_series, save_report
+
+
+def test_figure11(grid_traces, benchmark):
+    sections = []
+    for kind in ("plain", "encrypted", "ambiguous"):
+        columns = {
+            "%d rows" % size: grid_traces[(kind, size)].crack_seconds
+            for size in SIZES
+        }
+        xs = list(range(1, QUERY_COUNT + 1))
+        sections.append(
+            format_series(
+                "Figure 11 (%s): crack seconds per query" % kind,
+                "query",
+                xs,
+                columns,
+            )
+        )
+        sections.append(
+            ascii_chart(
+                "Figure 11 chart (%s): crack seconds, log-log" % kind,
+                xs,
+                columns,
+            )
+        )
+    report = "\n\n".join(sections)
+    save_report("fig11_crack_time.txt", report)
+    print("\n" + report)
+
+    # First-query crack time grows with size for every data type.
+    for kind in ("plain", "encrypted", "ambiguous"):
+        first = [grid_traces[(kind, size)].crack_seconds[0] for size in SIZES]
+        assert first[-1] > first[0], kind
+    # And the data-type ordering holds at the largest size.
+    largest = SIZES[-1]
+    assert (
+        grid_traces[("plain", largest)].crack_seconds[0]
+        < grid_traces[("encrypted", largest)].crack_seconds[0]
+        < grid_traces[("ambiguous", largest)].crack_seconds[0]
+    )
+
+    from repro.core.client import TrustedClient
+    from repro.core.encrypted_column import EncryptedColumn
+    from repro.workloads.datasets import unique_uniform
+
+    client = TrustedClient(seed=7)
+    rows, row_ids = client.encrypt_dataset(unique_uniform(2000, seed=7))
+    column = EncryptedColumn(rows, row_ids)
+    bound = client.encryptor.encrypt_bound(2 ** 30)
+
+    def crack_once():
+        column.crack(0, len(column), bound, inclusive=False)
+
+    benchmark(crack_once)

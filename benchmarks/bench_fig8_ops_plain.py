@@ -1,0 +1,56 @@
+"""Figure 8: per-operation cost per query, plain data.
+
+Paper: the crack operation dominates early and becomes progressively
+cheaper; AVL insert and search cost microseconds throughout; for small
+sizes crack eventually drops under insert/search within the workload.
+"""
+
+import numpy as np
+
+from conftest import QUERY_COUNT, SIZES
+from repro.bench.reporting import format_series, save_report
+
+
+def render_ops(traces, kind, sizes, query_count):
+    """Common renderer for Figures 8-10."""
+    sections = []
+    for size in sizes:
+        trace = traces[(kind, size)]
+        columns = {
+            "crack": trace.crack_seconds,
+            "search": trace.search_seconds,
+            "insert": trace.insert_seconds,
+            "scan": trace.scan_seconds,
+        }
+        xs = list(range(1, query_count + 1))
+        sections.append(
+            format_series(
+                "Figure ops (%s, %d rows): seconds per operation per query"
+                % (kind, size),
+                "query",
+                xs,
+                columns,
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def test_figure8(grid_traces, benchmark):
+    report = render_ops(grid_traces, "plain", SIZES, QUERY_COUNT)
+    save_report("fig8_ops_plain.txt", report)
+    print("\n" + report)
+
+    for size in SIZES:
+        trace = grid_traces[("plain", size)]
+        early_crack = float(np.mean(trace.crack_seconds[:5]))
+        late_crack = float(np.mean(trace.crack_seconds[-QUERY_COUNT // 5:]))
+        # Crack cost decays sharply over the sequence.
+        assert late_crack < early_crack
+        # Early cracking dominates search/insert by a wide margin.
+        assert early_crack > 3 * float(np.mean(trace.search_seconds[:5]))
+
+    from repro.cracking.index import AdaptiveIndex
+    from repro.workloads.datasets import unique_uniform
+
+    engine = AdaptiveIndex(unique_uniform(SIZES[-1], seed=4))
+    benchmark(lambda: engine.query(10, 2 ** 30))

@@ -1,0 +1,37 @@
+"""Figure 9: per-operation cost per query, encrypted data.
+
+Paper: crack cost decays as with plain data (from seconds to
+sub-second); insert and search grow from microseconds to milliseconds
+(their comparisons are now vector scalar products); after ~1K queries
+cracking costs under 0.2s per query at every size.
+"""
+
+import numpy as np
+
+from bench_fig8_ops_plain import render_ops
+from conftest import QUERY_COUNT, SIZES
+from repro.bench.reporting import save_report
+
+
+def test_figure9(grid_traces, benchmark):
+    report = render_ops(grid_traces, "encrypted", SIZES, QUERY_COUNT)
+    save_report("fig9_ops_encrypted.txt", report)
+    print("\n" + report)
+
+    for size in SIZES:
+        trace = grid_traces[("encrypted", size)]
+        early = float(np.mean(trace.crack_seconds[:5]))
+        late = float(np.mean(trace.crack_seconds[-QUERY_COUNT // 5:]))
+        assert late < early
+        # Encrypted cracking costs far more than plain cracking on the
+        # same size — the price of vector comparisons.
+        plain_early = float(
+            np.mean(grid_traces[("plain", size)].crack_seconds[:5])
+        )
+        assert early > plain_early
+
+    from repro.bench.harness import build_session
+    from repro.workloads.datasets import unique_uniform
+
+    session = build_session(unique_uniform(SIZES[0], seed=5), "encrypted", seed=5)
+    benchmark(lambda: session.query(10, 2 ** 30))

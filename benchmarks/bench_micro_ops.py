@@ -1,0 +1,63 @@
+"""Micro-benchmarks of the scheme's primitive operations.
+
+Not a paper figure — the per-operation grounding for all of them:
+encryption in both modes, ambiguous (steered) encryption, decryption,
+the scalar-product comparison, a full-column vectorised comparison
+sweep, and an AVL search over encrypted keys.  Run across key sizes to
+see the O(l) comparison cost of Figure 12 at the operation level.
+"""
+
+import pytest
+
+from repro.core.encrypted_column import EncryptedColumn
+from repro.crypto.key import generate_key
+from repro.crypto.scheme import Encryptor, generate_steerable_key
+
+KEY_LENGTHS = (4, 16, 64)
+
+
+@pytest.fixture(scope="module", params=KEY_LENGTHS)
+def sized_encryptor(request):
+    length = request.param
+    return Encryptor(generate_key(length, seed=length), seed=length + 1)
+
+
+def test_encrypt_value(sized_encryptor, benchmark):
+    benchmark(lambda: sized_encryptor.encrypt_value(123456789))
+
+
+def test_encrypt_bound(sized_encryptor, benchmark):
+    benchmark(lambda: sized_encryptor.encrypt_bound(123456789))
+
+
+def test_decrypt_value(sized_encryptor, benchmark):
+    ciphertext = sized_encryptor.encrypt_value(987654321)
+    benchmark(lambda: sized_encryptor.decrypt_value(ciphertext))
+
+
+def test_scalar_product_comparison(sized_encryptor, benchmark):
+    bound = sized_encryptor.encrypt_bound(5)
+    value = sized_encryptor.encrypt_value(9)
+    benchmark(lambda: bound.product_sign(value))
+
+
+def test_column_comparison_sweep(sized_encryptor, benchmark):
+    rows = [sized_encryptor.encrypt_value(v) for v in range(2000)]
+    column = EncryptedColumn(rows)
+    bound = sized_encryptor.encrypt_bound(1000)
+    benchmark(lambda: column.products(0, len(column), bound))
+
+
+def test_encrypt_ambiguous_steered(benchmark):
+    key = generate_steerable_key(4, (0, 2 ** 31), seed=0)
+    encryptor = Encryptor(key, seed=1)
+    benchmark(
+        lambda: encryptor.encrypt_value_ambiguous(
+            123456, fake_domain=(0, 2 ** 31)
+        )
+    )
+
+
+def test_encrypt_ambiguous_unsteered(benchmark):
+    encryptor = Encryptor(generate_key(4, seed=2), seed=3)
+    benchmark(lambda: encryptor.encrypt_value_ambiguous(123456))

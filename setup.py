@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The container has no ``wheel`` package and no network access, so PEP 517
+editable installs (which build an editable wheel) are unavailable.  This
+shim lets ``pip install -e . --no-use-pep517 --no-build-isolation`` fall
+back to ``setup.py develop``.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

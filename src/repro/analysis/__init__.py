@@ -1,0 +1,31 @@
+"""Security analysis instrumentation.
+
+:mod:`repro.analysis.leakage` quantifies the paper's Section 4.1
+observation — "the more refined the [index] tree becomes, the more
+information it can leak about the order of underlying tuples" — and
+the Section 4.2 counter-measure: with two interpretations per record,
+"the position of a record of interest in the index is uncertain even
+when that record of interest is identified".
+"""
+
+from repro.analysis.entropy import (
+    ambiguous_rank_entropy,
+    initial_rank_entropy,
+    residual_rank_entropy,
+)
+from repro.analysis.leakage import (
+    piece_index_per_row,
+    resolved_order_fraction,
+    ambiguous_resolved_order_fraction,
+    leakage_series,
+)
+
+__all__ = [
+    "ambiguous_rank_entropy",
+    "initial_rank_entropy",
+    "residual_rank_entropy",
+    "piece_index_per_row",
+    "resolved_order_fraction",
+    "ambiguous_resolved_order_fraction",
+    "leakage_series",
+]

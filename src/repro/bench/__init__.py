@@ -1,0 +1,48 @@
+"""Benchmark harness regenerating the paper's evaluation (Section 5).
+
+* :mod:`repro.bench.harness` — run a query sequence against any engine
+  and collect per-query wall-clock plus the crack/search/insert/scan
+  breakdown and client-side costs.
+* :mod:`repro.bench.figures` — one builder per paper figure
+  (Figures 6-13) plus the ablations listed in DESIGN.md, each returning
+  the plotted series as plain data.
+* :mod:`repro.bench.reporting` — fixed-width text rendering of those
+  series (the repository's stand-in for the paper's plots) and result
+  persistence.
+"""
+
+from repro.bench.cost_model import (
+    expected_crack_comparisons,
+    expected_cumulative_comparisons,
+    measure_against_model,
+    model_accuracy,
+)
+from repro.bench.harness import (
+    QueryTrace,
+    build_plain_engine,
+    build_session,
+    run_plain_sequence,
+    run_session_sequence,
+)
+from repro.bench.reporting import (
+    ascii_chart,
+    format_series,
+    format_table,
+    save_report,
+)
+
+__all__ = [
+    "expected_crack_comparisons",
+    "expected_cumulative_comparisons",
+    "measure_against_model",
+    "model_accuracy",
+    "QueryTrace",
+    "build_plain_engine",
+    "build_session",
+    "run_plain_sequence",
+    "run_session_sequence",
+    "ascii_chart",
+    "format_table",
+    "format_series",
+    "save_report",
+]

@@ -1,0 +1,130 @@
+"""Analytic cost model for cracking convergence, validated by counters.
+
+Cracking's amortisation has a clean first-order analysis (it is an
+incremental quicksort with query bounds as pivots, paper §4.1): after
+``k`` uniformly random cuts of an ``N``-row column, a uniformly random
+new bound lands in a piece of expected size ``2N / (k + 2)`` — pieces
+are size-biased: a random *point* falls into large pieces
+proportionally to their size, and the expectation works out to twice
+the average piece size.
+
+A two-sided query issues two cracks, so before query ``q`` (1-based)
+there are ``k = 2(q - 1)`` cuts and the expected rows classified by
+query ``q`` is approximately::
+
+    crack_comparisons(q) ~ 2 * 2N / (2q)  =  2N / q
+
+(the second bound's piece is conditioned on the first crack; at this
+order of approximation the correction is absorbed into the constant).
+Summing gives a harmonic cumulative cost ``~ 2N ln(q)`` — the
+"flattening" of Figure 6 is literally the harmonic series' slowdown.
+
+Because the engines count comparisons exactly (machine-independent),
+the model is *testable*: ``measure_against_model`` replays a workload
+and returns measured vs predicted series, and the benchmark asserts
+they track within a constant band.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cracking.index import AdaptiveIndex
+from repro.workloads.datasets import unique_uniform
+from repro.workloads.generators import random_workload
+
+
+def expected_piece_count(query_count: int) -> int:
+    """Pieces after ``q`` two-sided queries: at most ``2q + 1``.
+
+    "As queries are being processed, the adaptive index of a column is
+    continuously split into more (and thus smaller) pieces" — each
+    query adds at most two cuts (fewer once bounds repeat or coincide).
+    """
+    if query_count < 0:
+        raise ValueError("query count must be non-negative")
+    return 2 * query_count + 1
+
+
+def expected_crack_comparisons(column_size: int, query_number: int) -> float:
+    """Expected rows classified by cracking in query ``q`` (1-based)."""
+    if query_number < 1:
+        raise ValueError("query numbers are 1-based")
+    return 2.0 * column_size / query_number
+
+
+def expected_cumulative_comparisons(column_size: int, query_count: int) -> float:
+    """Harmonic cumulative crack cost after ``q`` queries.
+
+    ``sum_{i=1..q} 2N/i = 2N * H_q ~ 2N (ln q + gamma)``.
+    """
+    harmonic = sum(1.0 / i for i in range(1, query_count + 1))
+    return 2.0 * column_size * harmonic
+
+
+def convergence_horizon(column_size: int, piece_limit: int) -> int:
+    """Queries until the *average* piece is below ``piece_limit``.
+
+    With ``2q + 1`` pieces averaging ``N / (2q + 1)`` rows, the average
+    drops under the limit at ``q ~ (N / piece_limit - 1) / 2``.  Past
+    this point a threshold-configured engine mostly scans.
+    """
+    if piece_limit < 1:
+        raise ValueError("piece limit must be positive")
+    return max(0, math.ceil((column_size / piece_limit - 1) / 2))
+
+
+def measure_against_model(
+    column_size: int = 20000,
+    query_count: int = 200,
+    selectivity: float = 0.01,
+    seed: int = 0,
+) -> Dict[str, List[float]]:
+    """Replay the default workload; return measured vs predicted series.
+
+    Returns:
+        Dict with 1-based ``query`` indices, exact ``measured`` crack
+        comparisons per query (from the engine's counters), and the
+        ``predicted`` ``2N/q`` series.
+    """
+    values = unique_uniform(column_size, seed=seed)
+    queries = random_workload(
+        query_count, (0, 2 ** 31), selectivity=selectivity, seed=seed + 1
+    )
+    engine = AdaptiveIndex(values)
+    for query in queries:
+        engine.query(*query.as_args())
+    measured = [float(stats.cracked_rows) for stats in engine.stats_log]
+    predicted = [
+        expected_crack_comparisons(column_size, q)
+        for q in range(1, query_count + 1)
+    ]
+    return {
+        "query": list(range(1, query_count + 1)),
+        "measured": measured,
+        "predicted": predicted,
+    }
+
+
+def model_accuracy(series: Dict[str, List[float]], window: int = 10) -> float:
+    """Median of |log2(measured / predicted)| over window-averaged points.
+
+    0 means perfect; 1 means within a factor of two on (geometric)
+    average.  Window-averaging removes the heavy per-query variance of
+    the size-biased piece draw.
+    """
+    measured = np.asarray(series["measured"], dtype=float)
+    predicted = np.asarray(series["predicted"], dtype=float)
+    count = (len(measured) // window) * window
+    if count == 0:
+        raise ValueError("need at least one full window")
+    measured_avg = measured[:count].reshape(-1, window).mean(axis=1)
+    predicted_avg = predicted[:count].reshape(-1, window).mean(axis=1)
+    keep = measured_avg > 0
+    ratios = measured_avg[keep] / predicted_avg[keep]
+    if not len(ratios):
+        return float("inf")
+    return float(np.median(np.abs(np.log2(ratios))))

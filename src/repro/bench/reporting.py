@@ -1,0 +1,164 @@
+"""Fixed-width text rendering and persistence of benchmark results.
+
+The paper presents its evaluation as log-scale plots; this repository
+renders the same series as aligned text tables (one row per sampled
+query index, one column per configuration) so results diff cleanly and
+live in version control.  ``save_report`` drops each figure's rendering
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+#: Default directory benchmark reports are written to, relative to the
+#: repository root (created on demand).
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [
+        [_format_cell(c) for c in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return "%.3e" % value
+        return "%.4f" % value
+    return str(value)
+
+
+def sample_indices(length: int, samples: int) -> List[int]:
+    """Roughly log-spaced sample points over a query sequence."""
+    if length <= samples:
+        return list(range(length))
+    points = np.unique(
+        np.geomspace(1, length, samples).astype(int) - 1
+    )
+    return sorted(set(points.tolist()) | {0, length - 1})
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[int],
+    columns: Dict[str, Sequence[float]],
+    samples: int = 24,
+) -> str:
+    """Render several aligned series sampled at common x positions.
+
+    Args:
+        title: section heading.
+        x_label: name of the x axis (e.g. ``"query"``).
+        xs: x values (e.g. 1-based query indices).
+        columns: mapping of column name to y series, all as long as
+            ``xs``.
+        samples: number of (log-spaced) x positions to print.
+    """
+    xs = list(xs)
+    picked = sample_indices(len(xs), samples)
+    headers = [x_label] + list(columns)
+    rows = []
+    for index in picked:
+        row = [xs[index]]
+        for name in columns:
+            series = columns[name]
+            row.append(series[index] if index < len(series) else "")
+        rows.append(row)
+    return "%s\n%s" % (title, format_table(headers, rows))
+
+
+def save_report(name: str, content: str, directory: str = None) -> str:
+    """Persist a rendered report under ``benchmarks/results/``.
+
+    Returns the written path.
+    """
+    directory = directory or RESULTS_DIR
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        handle.write(content.rstrip() + "\n")
+    return path
+
+
+def ascii_chart(
+    title: str,
+    xs: Sequence[float],
+    columns: Dict[str, Sequence[float]],
+    width: int = 72,
+    height: int = 18,
+    log_y: bool = True,
+    log_x: bool = True,
+) -> str:
+    """Render series as a log-log ASCII chart (the paper plots log-log).
+
+    Each series gets a marker letter; overlapping points show the later
+    series' marker.  Non-positive values are skipped under log scaling.
+    Meant for eyeballing shapes in terminals and text reports — the
+    aligned tables carry the exact numbers.
+    """
+    import math
+
+    def transform(value: float, logarithmic: bool) -> float:
+        return math.log10(value) if logarithmic else float(value)
+
+    points = []  # (x_t, y_t, marker)
+    markers = "abcdefghijklmnopqrstuvwxyz"
+    legend = []
+    for series_index, (name, ys) in enumerate(columns.items()):
+        marker = markers[series_index % len(markers)]
+        legend.append("%s = %s" % (marker, name))
+        for x, y in zip(xs, ys):
+            if log_y and (y is None or y <= 0):
+                continue
+            if log_x and (x is None or x <= 0):
+                continue
+            points.append((transform(x, log_x), transform(y, log_y), marker))
+    if not points:
+        return "%s\n(no plottable points)" % title
+    x_values = [p[0] for p in points]
+    y_values = [p[1] for p in points]
+    x_min, x_max = min(x_values), max(x_values)
+    y_min, y_max = min(y_values), max(y_values)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x_t, y_t, marker in points:
+        column = int((x_t - x_min) / x_span * (width - 1))
+        row = height - 1 - int((y_t - y_min) / y_span * (height - 1))
+        grid[row][column] = marker
+    y_top = 10 ** y_max if log_y else y_max
+    y_bottom = 10 ** y_min if log_y else y_min
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = "%10.3g |" % y_top
+        elif row_index == height - 1:
+            label = "%10.3g |" % y_bottom
+        else:
+            label = "           |"
+        lines.append(label + "".join(row))
+    x_left = 10 ** x_min if log_x else x_min
+    x_right = 10 ** x_max if log_x else x_max
+    lines.append("           +" + "-" * width)
+    lines.append(
+        "            %-10.4g%s%10.4g" % (x_left, " " * (width - 20), x_right)
+    )
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,272 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the common operator flows:
+
+* ``demo``   — a self-contained end-to-end demonstration (synthetic
+  data, a query burst, adaptation statistics).
+* ``query``  — outsource a numeric column from a file and run range /
+  point queries against it.
+* ``sql``    — load one or more CSV tables (encrypted by default) and
+  execute a SQL statement from the supported subset.
+* ``keygen`` — generate a secret key and print its JSON serialization
+  (for sharing between trusted clients out of band).
+
+The CLI is a thin shell over the library; every command prints plain
+text and returns a process exit code, so it is scriptable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro import OutsourcedDatabase, __version__
+from repro.core.encrypted_table import OutsourcedTable
+from repro.crypto import generate_key
+from repro.crypto.serialization import dumps
+from repro.errors import ReproError
+from repro.sql import Catalog, execute_sql
+from repro.store.table import Table
+from repro.workloads.datasets import unique_uniform
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive indexing over encrypted numeric data "
+        "(SIGMOD 2016 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version="repro %s" % __version__
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser("demo", help="run an end-to-end demo")
+    demo.add_argument("--rows", type=int, default=10000)
+    demo.add_argument("--queries", type=int, default=50)
+    demo.add_argument("--ambiguity", action="store_true")
+    demo.add_argument("--seed", type=int, default=0)
+
+    query = commands.add_parser(
+        "query", help="outsource a column file and run queries"
+    )
+    query.add_argument("file", help="text file, one integer per line")
+    query.add_argument(
+        "--range", nargs=2, type=int, action="append", metavar=("LOW", "HIGH"),
+        dest="ranges", default=[], help="range query (repeatable)",
+    )
+    query.add_argument(
+        "--point", type=int, action="append", dest="points", default=[],
+        help="equality query (repeatable)",
+    )
+    query.add_argument(
+        "--workload", help="replay a JSON workload trace file"
+    )
+    query.add_argument("--ambiguity", action="store_true")
+    query.add_argument("--engine", choices=("adaptive", "scan"),
+                       default="adaptive")
+    query.add_argument("--seed", type=int, default=0)
+
+    sql = commands.add_parser("sql", help="run SQL over CSV tables")
+    sql.add_argument(
+        "--table", action="append", dest="tables", default=[],
+        metavar="NAME=FILE.csv", required=True,
+        help="register a CSV (header row of column names) as a table",
+    )
+    sql.add_argument("--plaintext", action="store_true",
+                     help="keep tables unencrypted (default: encrypted)")
+    sql.add_argument("--ambiguity", action="store_true",
+                     help="encrypt with counterfeit interpretations")
+    sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument("statement", help="the SELECT statement")
+
+    keygen = commands.add_parser("keygen", help="generate a secret key")
+    keygen.add_argument("--length", type=int, default=4)
+    keygen.add_argument("--seed", type=int, default=None)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        handler = {
+            "demo": _run_demo,
+            "query": _run_query,
+            "sql": _run_sql,
+            "keygen": _run_keygen,
+        }[args.command]
+        return handler(args)
+    except ReproError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+
+
+# -- commands -------------------------------------------------------------------
+
+
+def _run_demo(args) -> int:
+    values = unique_uniform(args.rows, seed=args.seed)
+    print("encrypting %d values%s..." % (
+        args.rows, " with ambiguity" if args.ambiguity else ""))
+    tick = time.perf_counter()
+    db = OutsourcedDatabase(values, ambiguity=args.ambiguity, seed=args.seed)
+    print("  upload ready in %.2fs" % (time.perf_counter() - tick))
+    rng = np.random.default_rng(args.seed)
+    span = max(1, 2 ** 31 // 100)
+    seconds: List[float] = []
+    for _ in range(args.queries):
+        low = int(rng.integers(0, 2 ** 31 - span))
+        tick = time.perf_counter()
+        db.query(low, low + span)
+        seconds.append(time.perf_counter() - tick)
+    print("ran %d random 1%%-selectivity queries" % args.queries)
+    print("  first query : %.4fs" % seconds[0])
+    print("  last query  : %.4fs" % seconds[-1])
+    print("  total       : %.3fs" % sum(seconds))
+    print("  crack bounds in the encrypted AVL tree: %d"
+          % len(db.server.engine.tree))
+    if args.ambiguity:
+        rates = [r.false_positive_rate for r in db.client_stats if
+                 r.returned_rows]
+        if rates:
+            print("  counterfeit false-positive rate: %.0f%%"
+                  % (100 * float(np.mean(rates))))
+    return 0
+
+
+def _run_query(args) -> int:
+    values = _read_column(args.file)
+    db = OutsourcedDatabase(
+        values, ambiguity=args.ambiguity, engine=args.engine, seed=args.seed
+    )
+    print("outsourced %d values from %s" % (len(values), args.file))
+    for low, high in args.ranges:
+        result = db.query(low, high)
+        print("range [%d, %d]: %d rows -> %s"
+              % (low, high, len(result.values),
+                 _preview(np.sort(result.values))))
+    for point in args.points:
+        result = db.query_point(point)
+        print("point %d: %d rows" % (point, len(result.values)))
+    if args.workload:
+        from repro.workloads.trace import load_workload
+
+        queries = load_workload(args.workload)
+        tick = time.perf_counter()
+        total_rows = 0
+        for trace_query in queries:
+            total_rows += len(db.query(*trace_query.as_args()).values)
+        print(
+            "replayed %d-query trace in %.3fs (%d rows returned)"
+            % (len(queries), time.perf_counter() - tick, total_rows)
+        )
+    if not args.ranges and not args.points and not args.workload:
+        print("no queries given; use --range LOW HIGH, --point VALUE, "
+              "or --workload TRACE.json")
+    return 0
+
+
+def _run_sql(args) -> int:
+    catalog = Catalog()
+    for spec in args.tables:
+        name, __, path = spec.partition("=")
+        if not name or not path:
+            raise ReproError("table spec must be NAME=FILE.csv: %r" % spec)
+        columns = _read_csv(path)
+        if args.plaintext:
+            if args.ambiguity:
+                raise ReproError("--ambiguity requires encrypted tables")
+            catalog.register(name, Table(columns))
+        else:
+            catalog.register(
+                name,
+                OutsourcedTable(
+                    columns, ambiguity=args.ambiguity, seed=args.seed
+                ),
+            )
+    out = execute_sql(catalog, args.statement)
+    names = [name for name in out if name != "logical_ids"]
+    widths = {name: max(len(name), 12) for name in names}
+    print("  ".join(name.rjust(widths[name]) for name in names))
+    print("  ".join("-" * widths[name] for name in names))
+    for index in range(len(out["logical_ids"])):
+        print("  ".join(
+            str(int(out[name][index])).rjust(widths[name]) for name in names
+        ))
+    print("(%d rows)" % len(out["logical_ids"]))
+    return 0
+
+
+def _run_keygen(args) -> int:
+    key = generate_key(length=args.length, seed=args.seed)
+    print(dumps(key))
+    return 0
+
+
+# -- input helpers -----------------------------------------------------------------
+
+
+def _read_column(path: str) -> List[int]:
+    """One integer per line; blank lines and '#' comments skipped."""
+    values: List[int] = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            try:
+                values.append(int(text))
+            except ValueError:
+                raise ReproError(
+                    "%s:%d: not an integer: %r" % (path, line_number, text)
+                ) from None
+    if not values:
+        raise ReproError("%s contains no values" % path)
+    return values
+
+
+def _read_csv(path: str) -> Dict[str, List[int]]:
+    """Header row of column names, integer cells; comma-separated."""
+    with open(path) as handle:
+        lines = [line.strip() for line in handle if line.strip()]
+    if len(lines) < 2:
+        raise ReproError("%s needs a header row and at least one data row" % path)
+    names = [name.strip() for name in lines[0].split(",")]
+    columns: Dict[str, List[int]] = {name: [] for name in names}
+    for line_number, line in enumerate(lines[1:], start=2):
+        cells = [cell.strip() for cell in line.split(",")]
+        if len(cells) != len(names):
+            raise ReproError(
+                "%s:%d: expected %d cells, got %d"
+                % (path, line_number, len(names), len(cells))
+            )
+        for name, cell in zip(names, cells):
+            try:
+                columns[name].append(int(cell))
+            except ValueError:
+                raise ReproError(
+                    "%s:%d: not an integer: %r" % (path, line_number, cell)
+                ) from None
+    return columns
+
+
+def _preview(values: np.ndarray, limit: int = 8) -> str:
+    shown = ", ".join(str(int(v)) for v in values[:limit])
+    if len(values) > limit:
+        shown += ", ..."
+    return "[%s]" % shown
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""The trusted client: encrypts data and queries, decrypts results.
+
+Client-side duties in the paper's protocol (Sections 3-5.4):
+
+* encrypt the column before upload — one ``Ev`` row per value, or two
+  physical rows per value when ambiguity is on (Section 4.2);
+* encrypt each query bound *twice* (``Eb`` for comparisons, ``Ev`` for
+  the AVL key — Section 4.3) and ship a single
+  :class:`~repro.core.query.EncryptedQuery`;
+* decrypt the returned rows, discard the ~50% ambiguity false
+  positives (Figure 13a), and report plaintext results.
+
+The client is the only component holding the
+:class:`~repro.crypto.key.SecretKey`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.crypto.ciphertext import ValueCiphertext
+from repro.crypto.key import SecretKey, generate_key
+from repro.crypto.scheme import Encryptor, generate_steerable_key
+from repro.core.query import EncryptedBound, EncryptedQuery
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class ClientResult:
+    """Decrypted outcome of one query.
+
+    Attributes:
+        values: plaintext values of the real rows returned.
+        logical_ids: the originating logical row ids, parallel to
+            ``values``.
+        false_positives: number of fake rows discarded (0 without
+            ambiguity).
+        returned_rows: total rows the server shipped.
+        decrypt_seconds: client-side decrypt-and-filter time — the
+            Figure 13b measurement.
+    """
+
+    values: np.ndarray
+    logical_ids: np.ndarray
+    false_positives: int
+    returned_rows: int
+    decrypt_seconds: float
+
+    @property
+    def false_positive_rate(self) -> float:
+        """Fraction of returned rows that were fakes (Figure 13a)."""
+        if self.returned_rows == 0:
+            return 0.0
+        return self.false_positives / self.returned_rows
+
+
+class TrustedClient:
+    """Key holder: encrypts uploads and queries, decrypts responses.
+
+    Args:
+        key: secret key; generated fresh when omitted.
+        seed: randomness seed for key generation and encryption.
+        ambiguity: encrypt values with the Section 4.2 two-branch
+            layer (doubles the server's data, halves an adversary's
+            certainty).
+        key_length: ciphertext length ``l`` when generating a key.
+        fake_domain: half-open interval counterfeit pseudo-values are
+            drawn from; defaults to the observed data range at
+            :meth:`encrypt_dataset` time, so fakes qualify for range
+            queries about as often as real rows (the ~50% false
+            positive rate of Figure 13a).
+    """
+
+    def __init__(
+        self,
+        key: SecretKey = None,
+        seed: int = None,
+        ambiguity: bool = False,
+        key_length: int = 4,
+        fake_domain: Tuple[int, int] = None,
+    ) -> None:
+        self._key_was_auto_generated = key is None
+        self._seed = seed
+        self._key_length = key_length
+        if key is None:
+            if ambiguity and fake_domain is not None and key_length >= 4:
+                key = generate_steerable_key(
+                    key_length, fake_domain, seed=seed
+                )
+            else:
+                key = generate_key(length=key_length, seed=seed)
+        self.key = key
+        self.ambiguity = ambiguity
+        self.fake_domain = fake_domain
+        self._encryptor = Encryptor(key, seed=None if seed is None else seed + 1)
+
+    @property
+    def encryptor(self) -> Encryptor:
+        """The underlying scheme operations (key-holder only)."""
+        return self._encryptor
+
+    # -- upload ------------------------------------------------------------------
+
+    def encrypt_dataset(
+        self, values: Iterable[int]
+    ) -> Tuple[List[ValueCiphertext], List[int]]:
+        """Encrypt a column for upload.
+
+        Returns ``(physical_rows, row_ids)``.  Without ambiguity,
+        logical value ``i`` becomes physical row id ``i``.  With it,
+        value ``i`` spawns physical ids ``2i`` and ``2i + 1`` — the
+        two interpretations the server will manage separately; which of
+        the two is real varies per value and stays secret.
+        """
+        values = [int(v) for v in values]
+        if self.ambiguity and self.fake_domain is None and values:
+            self.fake_domain = (min(values), max(values) + 1)
+            if self._key_was_auto_generated and self.key.length >= 4:
+                # No data has been uploaded under the provisional key
+                # yet, so the owner is free to re-draw one whose
+                # ambiguity layer reaches the (just learned) domain.
+                self.key = generate_steerable_key(
+                    self.key.length, self.fake_domain, seed=self._seed
+                )
+                self._encryptor = Encryptor(
+                    self.key,
+                    seed=None if self._seed is None else self._seed + 1,
+                )
+                self._key_was_auto_generated = False
+        rows: List[ValueCiphertext] = []
+        row_ids: List[int] = []
+        for logical_id, value in enumerate(values):
+            rows_for_value = self.encrypt_value(value)
+            for offset, row in enumerate(rows_for_value):
+                rows.append(row)
+                row_ids.append(
+                    2 * logical_id + offset if self.ambiguity else logical_id
+                )
+        return rows, row_ids
+
+    def encrypt_value(self, value: int) -> List[ValueCiphertext]:
+        """Physical rows for one value (two when ambiguity is on).
+
+        Counterfeit branches are steered into :attr:`fake_domain` when
+        one is known (set explicitly or learned from the dataset) and
+        the key length permits; otherwise the unsteered Section 4.2
+        construction is used.
+        """
+        if not self.ambiguity:
+            return [self._encryptor.encrypt_value(value)]
+        if self.fake_domain is not None and self.key.length >= 4:
+            ambiguous = self._encryptor.encrypt_value_ambiguous(
+                value, fake_domain=self.fake_domain
+            )
+        else:
+            ambiguous = self._encryptor.encrypt_value_ambiguous(value)
+        prefix, suffix = ambiguous.interpretations()
+        return [prefix, suffix]
+
+    def logical_id(self, physical_row_id: int) -> int:
+        """Map a server row id back to the logical value index."""
+        return physical_row_id // 2 if self.ambiguity else physical_row_id
+
+    # -- queries -------------------------------------------------------------------
+
+    def encrypt_query_bound(self, bound: int) -> EncryptedBound:
+        """Encrypt one bound in both modes (Section 4.3)."""
+        return EncryptedBound(
+            eb=self._encryptor.encrypt_bound(bound),
+            ev=self._encryptor.encrypt_value(bound),
+        )
+
+    def make_query(
+        self,
+        low: int = None,
+        high: int = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        pivots: Sequence[int] = (),
+    ) -> EncryptedQuery:
+        """Build the encrypted message for a range query.
+
+        Either bound may be None: ``make_query(high=x)`` is the
+        one-sided query ``A <= x`` (cracking only one piece at the
+        server), ``make_query(low=x)`` is ``A >= x``; both None selects
+        everything.  ``pivots`` are optional extra bounds for
+        client-assisted stochastic cracking; the server may crack on
+        them but they do not affect the result set.
+        """
+        if low is not None and high is not None and low > high:
+            raise QueryError("inverted range: low=%r > high=%r" % (low, high))
+        return EncryptedQuery(
+            low=None if low is None else self.encrypt_query_bound(low),
+            high=None if high is None else self.encrypt_query_bound(high),
+            low_inclusive=low_inclusive,
+            high_inclusive=high_inclusive,
+            pivots=tuple(self.encrypt_query_bound(p) for p in pivots),
+        )
+
+    # -- responses ---------------------------------------------------------------------
+
+    def decrypt_results(
+        self,
+        row_ids: Sequence[int],
+        rows: Sequence[ValueCiphertext],
+        id_mapper=None,
+    ) -> ClientResult:
+        """Decrypt a server response, discarding ambiguity fakes.
+
+        Args:
+            row_ids: physical ids parallel to ``rows``.
+            rows: the returned ciphertexts.
+            id_mapper: physical-to-logical id translation; defaults to
+                :meth:`logical_id` (sessions with inserts pass their
+                own mapping, since inserted ids leave the formulaic
+                space).
+        """
+        if id_mapper is None:
+            id_mapper = self.logical_id
+        tick = time.perf_counter()
+        values: List[int] = []
+        logical_ids: List[int] = []
+        false_positives = 0
+        for row_id, row in zip(row_ids, rows):
+            decrypted = self._encryptor.decrypt_row(row)
+            if decrypted.is_real:
+                values.append(decrypted.value)
+                logical_ids.append(id_mapper(int(row_id)))
+            else:
+                false_positives += 1
+        elapsed = time.perf_counter() - tick
+        return ClientResult(
+            values=np.array(values, dtype=np.int64),
+            logical_ids=np.array(logical_ids, dtype=np.int64),
+            false_positives=false_positives,
+            returned_rows=len(rows),
+            decrypt_seconds=elapsed,
+        )

@@ -1,0 +1,151 @@
+"""Pseudocode-literal ``findpiece`` / ``addCrack`` (paper, Section 4.3).
+
+The secure engine localises pieces through the comparator-generic
+helpers in :mod:`repro.cracking.cracker_tree`; this module transcribes
+the paper's two algorithms case by case, keeping their structure
+(descend to a frontier node, then distinguish the min / max / below /
+above cases through scalar products).  The test-suite drives both
+formulations over the same query sequences and asserts they always
+agree — the transcription is the fidelity artefact, the generic helper
+the production path.
+
+Terminology: ``ScalarProduct(Eb, key)`` in the paper is our
+``key.bound.eb`` ... no — the *searched* bound arrives in ``Eb`` mode
+and tree keys are stored in ``Ev`` mode, so the paper's
+``ScalarProduct(Eb, fNode.key)`` is ``eb_new . ev_node =
+xi * (b_node - b_new)``: positive means the searched bound is *smaller*
+than the node's.  The helper :func:`_plaintext_order` flips that sign
+into conventional "searched minus node" orientation, which keeps the
+case analysis readable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cracking.avl import AVLNode, AVLTree
+from repro.core.query import EncryptedBoundKey, compare_encrypted_keys
+
+
+def _plaintext_order(searched: EncryptedBoundKey, node: AVLNode) -> int:
+    """Sign of ``searched_bound - node_bound`` (ties by crack flavour)."""
+    return compare_encrypted_keys(searched, node.key)
+
+
+def _descend(tree: AVLTree, key: EncryptedBoundKey) -> Optional[AVLNode]:
+    """The paper's ``findNode``: the frontier node of a BST search.
+
+    Walks from the root following scalar-product comparisons until the
+    next child pointer is empty; the returned node is the would-be
+    parent of ``key`` (or the exact node when the key is indexed).
+    """
+    node = tree.root
+    last = None
+    while node is not None:
+        last = node
+        sign = _plaintext_order(key, node)
+        if sign == 0:
+            return node
+        node = node.left if sign < 0 else node.right
+    return last
+
+
+def find_piece_encrypted(
+    tree: AVLTree, key: EncryptedBoundKey, total_size: int
+) -> Tuple[int, int]:
+    """The paper's ``findpiece`` over encrypted keys.
+
+    Returns the physical range ``[posL, posH)`` of the piece in which
+    the (unindexed) bound falls.  The paper's four cases:
+
+    * **Case 1** — the bound exceeds the largest indexed bound: the
+      piece starts at the max node's position and runs to the end.
+    * **Case 2** — the search frontier is the min node: the piece ends
+      at the min node (bound below all indexed bounds) or starts at it
+      (bound between min and its successor).
+    * **Case 3** — the bound is below the frontier node: the piece is
+      bounded above by it and below by its predecessor.
+    * **Case 4** — the bound is above the frontier node: the piece is
+      bounded below by it and above by its successor.
+
+    Exact matches are the caller's business (the engine checks the tree
+    before calling, as the select operator does in the paper's flow).
+    """
+    pos_lo, pos_hi = 0, total_size
+    root = tree.root
+    if root is None:
+        return pos_lo, pos_hi
+    min_node = tree.min_node()
+    max_node = tree.max_node()
+    frontier = _descend(tree, key)
+    beyond_max = _plaintext_order(key, max_node) > 0
+    if beyond_max:
+        # Case 1: everything from the last indexed crack to the end.
+        return max_node.position, total_size
+    if frontier is min_node:
+        # Case 2: at the low end of the indexed range.
+        if _plaintext_order(key, min_node) < 0:
+            return 0, min_node.position
+        pos_lo = min_node.position
+        successor = tree.successor(min_node)
+        if successor is not None:
+            pos_hi = successor.position
+        return pos_lo, pos_hi
+    if _plaintext_order(key, frontier) < 0:
+        # Case 3: between the frontier's predecessor and the frontier.
+        pos_hi = frontier.position
+        predecessor = tree.predecessor(frontier)
+        if predecessor is not None:
+            pos_lo = predecessor.position
+        return pos_lo, pos_hi
+    # Case 4: between the frontier and its successor.
+    pos_lo = frontier.position
+    successor = tree.successor(frontier)
+    if successor is not None:
+        pos_hi = successor.position
+    return pos_lo, pos_hi
+
+
+def add_crack_encrypted(
+    tree: AVLTree,
+    key: EncryptedBoundKey,
+    position: int,
+    total_size: int,
+) -> Optional[AVLNode]:
+    """The paper's ``addCrack`` over encrypted keys.
+
+    Registers that the column was just partitioned at ``position``
+    around ``key``.  Case analysis as in the pseudocode:
+
+    * line 1 — boundary positions carry no information: skip;
+    * **Case 1** — the successor-side neighbour already records this
+      position: skip (the gap between the bounds is empty);
+    * **Case 2** — the predecessor-side neighbour records it: skip;
+    * **Case 3** — a node with this exact key exists: refresh its
+      position;
+    * **Case 4** — otherwise insert a fresh node (with both encrypted
+      forms of the bound as its key) and rebalance.
+    """
+    if position <= 0 or position >= total_size:
+        return None
+    if tree.root is not None:
+        exact = tree.find(key)
+        if exact is not None:
+            # Case 3.
+            exact.position = position
+            return exact
+        frontier = _descend(tree, key)
+        if _plaintext_order(key, frontier) > 0:
+            # Key sits after the frontier: the frontier is its
+            # predecessor, its successor the next node up (Case 1/2).
+            predecessor, successor = frontier, tree.successor(frontier)
+        else:
+            predecessor, successor = tree.predecessor(frontier), frontier
+        if successor is not None and successor.position == position:
+            # Case 1.
+            return successor
+        if predecessor is not None and predecessor.position == position:
+            # Case 2.
+            return predecessor
+    # Case 4.
+    return tree.insert(key, position)

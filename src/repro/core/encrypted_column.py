@@ -1,0 +1,327 @@
+"""Encrypted cracker column: ciphertext rows in a fixed-width dense array.
+
+The server-side twin of :class:`repro.cracking.column.CrackerColumn`:
+each row is a length-``l`` integer vector (an ``Ev``-mode ciphertext's
+numerators) with a positive denominator, held in a numpy ``object``
+matrix so Python big-ints flow through vectorised arithmetic without
+overflow — the reproduction's analogue of the paper's GMP arrays.
+
+All row classification happens through scalar products against an
+``Eb``-mode bound (``sign(Eb . Ev) == sign(v - b)``); the column never
+compares two of its own rows, mirroring the scheme's central
+restriction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cracking.algorithms import (
+    crack_in_two,
+    partition_order,
+    three_way_partition_order,
+)
+from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
+from repro.errors import IndexStateError
+
+
+class EncryptedColumn:
+    """Dense array of encrypted rows, physically reorganised by cracking.
+
+    Args:
+        rows: the ciphertext rows in upload order.
+        row_ids: stable identifiers parallel to ``rows``; defaults to
+            ``0..n-1``.  With ambiguity enabled upstream, two physical
+            rows share one logical origin — the id convention is the
+            uploader's business, the column just preserves ids across
+            reorganisation.
+        use_inplace_algorithm: route cracks through the
+            pointer-faithful Algorithm 1 (slower; fidelity tests).
+    """
+
+    def __init__(
+        self,
+        rows: Sequence[ValueCiphertext],
+        row_ids: Sequence[int] = None,
+        use_inplace_algorithm: bool = False,
+    ) -> None:
+        rows = list(rows)
+        if rows:
+            length = rows[0].length
+            if any(row.length != length for row in rows):
+                raise IndexStateError("rows must share one ciphertext length")
+            self._length = length
+        else:
+            self._length = 0
+        self._matrix = np.empty((len(rows), self._length), dtype=object)
+        for i, row in enumerate(rows):
+            self._matrix[i, :] = row.numerators
+        self._denominators = np.array(
+            [row.denominator for row in rows], dtype=object
+        )
+        if row_ids is None:
+            self._row_ids = np.arange(len(rows), dtype=np.int64)
+        else:
+            self._row_ids = np.array(row_ids, dtype=np.int64).reshape(-1)
+            if len(self._row_ids) != len(rows):
+                raise IndexStateError("row_ids length mismatch")
+        self._use_inplace = use_inplace_algorithm
+        # id -> current physical index; maintained through every
+        # reorganisation so positional tuple reconstruction across
+        # sibling columns stays O(1) per row.
+        self._position_of_id = {
+            int(row_id): index for index, row_id in enumerate(self._row_ids)
+        }
+        if len(self._position_of_id) != len(self._row_ids):
+            raise IndexStateError("row ids must be unique")
+
+    def __len__(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def ciphertext_length(self) -> int:
+        """The ciphertext vector length ``l`` (0 for an empty column)."""
+        return self._length
+
+    @property
+    def row_ids(self) -> np.ndarray:
+        """Row ids in current physical order (read-only view)."""
+        view = self._row_ids.view()
+        view.flags.writeable = False
+        return view
+
+    # -- scalar products -------------------------------------------------------
+
+    def products(
+        self, piece_lo: int, piece_hi: int, bound: BoundCiphertext
+    ) -> np.ndarray:
+        """Exact products ``Eb . Ev`` for rows in ``[piece_lo, piece_hi)``.
+
+        Denominators are positive, so the signs of these integers equal
+        the signs of the exact rational comparisons.
+        """
+        self._check_range(piece_lo, piece_hi)
+        vector = np.array(bound.vector, dtype=object)
+        return self._matrix[piece_lo:piece_hi] @ vector
+
+    # -- cracking ----------------------------------------------------------------
+
+    def crack(
+        self,
+        piece_lo: int,
+        piece_hi: int,
+        bound: BoundCiphertext,
+        inclusive: bool,
+    ) -> int:
+        """Reorganise ``[piece_lo, piece_hi)`` around an encrypted bound.
+
+        Rows with ``v < b`` (``<= b`` when ``inclusive``) move to the
+        front of the piece; returns the split position.  Classification
+        is by product sign only — the server learns which side each row
+        falls on (that is the point of on-demand indexing) but nothing
+        about distances.
+        """
+        self._check_range(piece_lo, piece_hi)
+        if self._use_inplace:
+            return self._crack_inplace(piece_lo, piece_hi, bound, inclusive)
+        products = self.products(piece_lo, piece_hi, bound)
+        mask = products <= 0 if inclusive else products < 0
+        mask = mask.astype(bool)
+        order = partition_order(mask)
+        self._apply_order(piece_lo, piece_hi, order)
+        return piece_lo + int(np.count_nonzero(mask))
+
+    def crack_three(
+        self,
+        piece_lo: int,
+        piece_hi: int,
+        low: BoundCiphertext,
+        low_inclusive: bool,
+        high: BoundCiphertext,
+        high_inclusive: bool,
+    ) -> Tuple[int, int]:
+        """Three-way reorganisation around two encrypted bounds.
+
+        Region 0: rows below the range (``v < low`` / ``v <= low``);
+        region 2: rows above (``v > high`` / ``v >= high``); region 1:
+        the qualifying middle.  Returns ``(split0, split1)``.
+        """
+        self._check_range(piece_lo, piece_hi)
+        low_products = self.products(piece_lo, piece_hi, low)
+        high_products = self.products(piece_lo, piece_hi, high)
+        below = (
+            low_products < 0 if low_inclusive else low_products <= 0
+        ).astype(bool)
+        above = (
+            high_products > 0 if high_inclusive else high_products >= 0
+        ).astype(bool)
+        regions = np.where(below, 0, np.where(above, 2, 1))
+        order, count0, count01 = three_way_partition_order(regions)
+        self._apply_order(piece_lo, piece_hi, order)
+        return piece_lo + count0, piece_lo + count01
+
+    def _crack_inplace(
+        self,
+        piece_lo: int,
+        piece_hi: int,
+        bound: BoundCiphertext,
+        inclusive: bool,
+    ) -> int:
+        """Algorithm 1 path over encrypted rows (per-row dot products)."""
+        vector = bound.vector
+        matrix = self._matrix
+
+        def belongs_left(i: int) -> bool:
+            product = sum(a * b for a, b in zip(matrix[i], vector))
+            return product <= 0 if inclusive else product < 0
+
+        def swap(i: int, j: int) -> None:
+            matrix[[i, j]] = matrix[[j, i]]
+            self._denominators[[i, j]] = self._denominators[[j, i]]
+            self._row_ids[[i, j]] = self._row_ids[[j, i]]
+            self._position_of_id[int(self._row_ids[i])] = i
+            self._position_of_id[int(self._row_ids[j])] = j
+
+        return crack_in_two(belongs_left, swap, piece_lo, piece_hi - 1)
+
+    # -- scans ----------------------------------------------------------------------
+
+    def scan_qualifying(
+        self,
+        piece_lo: int,
+        piece_hi: int,
+        low: BoundCiphertext,
+        low_inclusive: bool,
+        high: BoundCiphertext,
+        high_inclusive: bool,
+    ) -> np.ndarray:
+        """Physical indices in ``[piece_lo, piece_hi)`` inside the range.
+
+        Used for sub-threshold edge pieces: the server evaluates the
+        full predicate per row with two scalar products (it can do so
+        exactly because the client shipped both bounds in ``Eb`` mode).
+        Either bound may be None (one-sided queries), costing one
+        product per row instead of two.
+        """
+        self._check_range(piece_lo, piece_hi)
+        mask = np.ones(piece_hi - piece_lo, dtype=bool)
+        if low is not None:
+            low_products = self.products(piece_lo, piece_hi, low)
+            mask &= (
+                low_products >= 0 if low_inclusive else low_products > 0
+            ).astype(bool)
+        if high is not None:
+            high_products = self.products(piece_lo, piece_hi, high)
+            mask &= (
+                high_products <= 0 if high_inclusive else high_products < 0
+            ).astype(bool)
+        return piece_lo + np.flatnonzero(mask)
+
+    # -- row access -------------------------------------------------------------------
+
+    def row(self, index: int) -> ValueCiphertext:
+        """The ciphertext currently at a physical index."""
+        return ValueCiphertext(
+            tuple(self._matrix[index]), int(self._denominators[index])
+        )
+
+    def rows_at(self, indices: Iterable[int]) -> List[ValueCiphertext]:
+        """Ciphertexts at the given physical indices."""
+        return [self.row(int(i)) for i in indices]
+
+    def row_ids_at(self, indices) -> np.ndarray:
+        """Row ids at the given physical indices."""
+        return self._row_ids[np.asarray(indices, dtype=np.int64)]
+
+    def row_ids_in(self, piece_lo: int, piece_hi: int) -> np.ndarray:
+        """Row ids of every row in ``[piece_lo, piece_hi)``."""
+        self._check_range(piece_lo, piece_hi)
+        return self._row_ids[piece_lo:piece_hi].copy()
+
+    # -- updates -----------------------------------------------------------------------
+
+    def insert_at(self, position: int, row: ValueCiphertext, row_id: int) -> None:
+        """Physically insert one row at ``position`` (O(n) memmove)."""
+        if not 0 <= position <= len(self):
+            raise IndexStateError("insert position out of range")
+        if len(self) and row.length != self._length:
+            raise IndexStateError("row has wrong ciphertext length")
+        if int(row_id) in self._position_of_id:
+            raise IndexStateError("row id %d already present" % row_id)
+        if not len(self):
+            self._length = row.length
+            self._matrix = np.empty((0, self._length), dtype=object)
+        new_row = np.empty((1, self._length), dtype=object)
+        new_row[0, :] = row.numerators
+        self._matrix = np.concatenate(
+            (self._matrix[:position], new_row, self._matrix[position:])
+        )
+        self._denominators = np.concatenate(
+            (
+                self._denominators[:position],
+                np.array([row.denominator], dtype=object),
+                self._denominators[position:],
+            )
+        )
+        self._row_ids = np.concatenate(
+            (
+                self._row_ids[:position],
+                np.array([row_id], dtype=np.int64),
+                self._row_ids[position:],
+            )
+        )
+        for index in range(position, len(self._row_ids)):
+            self._position_of_id[int(self._row_ids[index])] = index
+
+    def delete_at(self, position: int) -> None:
+        """Physically remove the row at ``position`` (O(n) memmove)."""
+        if not 0 <= position < len(self):
+            raise IndexStateError("delete position out of range")
+        del self._position_of_id[int(self._row_ids[position])]
+        self._matrix = np.delete(self._matrix, position, axis=0)
+        self._denominators = np.delete(self._denominators, position)
+        self._row_ids = np.delete(self._row_ids, position)
+        for index in range(position, len(self._row_ids)):
+            self._position_of_id[int(self._row_ids[index])] = index
+
+    def physical_index_of(self, row_id: int) -> int:
+        """Current physical index of a row id (O(1) through the id map).
+
+        Raises:
+            IndexStateError: if the id is not present.
+        """
+        try:
+            return self._position_of_id[int(row_id)]
+        except KeyError:
+            raise IndexStateError("row id %d not present" % row_id) from None
+
+    def rows_by_ids(self, row_ids: Iterable[int]) -> List[ValueCiphertext]:
+        """Ciphertexts for the given row ids, in the given order.
+
+        Positional tuple reconstruction across sibling columns: a
+        select on one attribute returns qualifying ids; siblings
+        materialise the other attributes through this O(1)-per-row
+        lookup, regardless of how differently each column has been
+        cracked.
+        """
+        return [self.row(self.physical_index_of(row_id)) for row_id in row_ids]
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _apply_order(self, piece_lo: int, piece_hi: int, order: np.ndarray) -> None:
+        self._matrix[piece_lo:piece_hi] = self._matrix[piece_lo:piece_hi][order]
+        self._denominators[piece_lo:piece_hi] = self._denominators[piece_lo:piece_hi][
+            order
+        ]
+        self._row_ids[piece_lo:piece_hi] = self._row_ids[piece_lo:piece_hi][order]
+        for index in range(piece_lo, piece_hi):
+            self._position_of_id[int(self._row_ids[index])] = index
+
+    def _check_range(self, piece_lo: int, piece_hi: int) -> None:
+        if not 0 <= piece_lo <= piece_hi <= len(self):
+            raise IndexStateError(
+                "piece [%d, %d) out of bounds for column of size %d"
+                % (piece_lo, piece_hi, len(self))
+            )

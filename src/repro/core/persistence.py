@@ -1,0 +1,131 @@
+"""Server-state persistence: snapshot and restore an encrypted server.
+
+A cloud server restarts; the adaptive index it cracked into existence
+must not evaporate with it (the entire point of adaptive indexing is
+that past queries already paid for it).  This module snapshots a
+:class:`~repro.core.server.SecureServer` — ciphertext rows in their
+current cracked order, the encrypted AVL tree (each node's double-
+encrypted bound and position), the pending-update buffer — into a
+JSON-compatible dictionary, and restores an equivalent server from it.
+
+Everything in a snapshot is ciphertext or public structure; snapshots
+are exactly as confidential as the server's RAM (i.e. safe to hold at
+the honest-but-curious server, revealing nothing beyond what query
+processing already revealed).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.query import EncryptedBound, EncryptedBoundKey
+from repro.core.server import SecureServer
+from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
+from repro.crypto.serialization import ciphertext_from_dict, ciphertext_to_dict
+from repro.errors import SerializationError
+from repro.store.updates import PendingUpdates
+
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_server(server: SecureServer) -> Dict[str, Any]:
+    """Serialize a server's full state to a JSON-compatible dict."""
+    engine = server.engine
+    column = engine.column
+    rows = [
+        ciphertext_to_dict(column.row(index)) for index in range(len(column))
+    ]
+    tree_nodes = []
+    if hasattr(engine, "tree"):
+        for node in engine.tree.in_order():
+            key: EncryptedBoundKey = node.key
+            tree_nodes.append(
+                {
+                    "eb": ciphertext_to_dict(key.bound.eb),
+                    "ev": ciphertext_to_dict(key.bound.ev),
+                    "inclusive": key.inclusive,
+                    "position": node.position,
+                }
+            )
+    updates = server._updates
+    return {
+        "kind": "secure_server",
+        "version": SNAPSHOT_VERSION,
+        "engine_kind": server.engine_kind,
+        "min_piece_size": getattr(engine, "_min_piece", 1),
+        "use_three_way": getattr(engine, "_use_three_way", False),
+        "use_paper_tree_algorithms": getattr(
+            engine, "_use_paper_algorithms", False
+        ),
+        "rows": rows,
+        "row_ids": [int(i) for i in column.row_ids],
+        "tree": tree_nodes,
+        "auto_merge_threshold": server._auto_merge_threshold,
+        "pending": [
+            {"row_id": row_id, "row": ciphertext_to_dict(row)}
+            for row_id, row in updates.pending
+        ],
+        "tombstones": sorted(updates.tombstones),
+        "next_row_id": updates.next_row_id,
+        "queries_served": server.queries_served,
+        "rows_shipped": server.rows_shipped,
+    }
+
+
+def restore_server(snapshot: Dict[str, Any]) -> SecureServer:
+    """Rebuild an equivalent server from a snapshot.
+
+    The restored server answers every query identically to the
+    original: the column keeps its cracked physical order and the AVL
+    tree its bounds and positions (rebalanced shape may differ — shape
+    is not part of the contract).
+
+    Raises:
+        SerializationError: on a malformed or wrong-kind snapshot.
+    """
+    if snapshot.get("kind") != "secure_server":
+        raise SerializationError(
+            "expected a secure_server snapshot, got %r" % snapshot.get("kind")
+        )
+    if snapshot.get("version") != SNAPSHOT_VERSION:
+        raise SerializationError(
+            "unsupported snapshot version: %r" % snapshot.get("version")
+        )
+    try:
+        rows = [ciphertext_from_dict(data) for data in snapshot["rows"]]
+        row_ids = [int(i) for i in snapshot["row_ids"]]
+        server = SecureServer(
+            rows,
+            row_ids,
+            engine=snapshot["engine_kind"],
+            auto_merge_threshold=snapshot.get("auto_merge_threshold"),
+            min_piece_size=snapshot["min_piece_size"],
+            use_three_way=snapshot["use_three_way"],
+            use_paper_tree_algorithms=snapshot["use_paper_tree_algorithms"],
+        )
+        engine = server.engine
+        for node_data in snapshot["tree"]:
+            eb = ciphertext_from_dict(node_data["eb"])
+            ev = ciphertext_from_dict(node_data["ev"])
+            if not isinstance(eb, BoundCiphertext) or not isinstance(
+                ev, ValueCiphertext
+            ):
+                raise SerializationError("malformed tree node ciphertexts")
+            key = EncryptedBoundKey(
+                EncryptedBound(eb=eb, ev=ev),
+                inclusive=bool(node_data["inclusive"]),
+            )
+            engine.tree.insert(key, int(node_data["position"]))
+        server._updates = PendingUpdates.restore(
+            int(snapshot["next_row_id"]),
+            [
+                (int(entry["row_id"]), ciphertext_from_dict(entry["row"]))
+                for entry in snapshot["pending"]
+            ],
+            {int(i) for i in snapshot["tombstones"]},
+        )
+        server.queries_served = int(snapshot["queries_served"])
+        server.rows_shipped = int(snapshot["rows_shipped"])
+        return server
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed snapshot: %s" % exc) from exc

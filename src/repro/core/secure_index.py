@@ -1,0 +1,341 @@
+"""Secure adaptive indexing engine (the paper's contribution).
+
+Mirrors the plaintext :class:`repro.cracking.index.AdaptiveIndex`
+query flow — locate the two bound cracks, reorganise at most two
+pieces, return the qualifying contiguous area — but every comparison
+runs through scalar products on ciphertexts:
+
+* data rows are classified against a query bound via
+  ``sign(Eb(b) . Ev(v))``;
+* AVL keys (previous bounds, stored in ``Ev`` mode) are compared to a
+  new bound (arriving in ``Eb`` mode) the same way — the double
+  encryption of Section 4.3.
+
+The engine works identically whether rows came from plain or ambiguous
+encryption: fake interpretations are just rows whose pseudo-values the
+client will discard.  Nothing here touches a key or a plaintext.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cracking.avl import AVLTree
+from repro.cracking.cracker_tree import add_crack, find_piece
+from repro.cracking.index import QueryStats, _BoundResolution
+from repro.core.encrypted_avl import add_crack_encrypted, find_piece_encrypted
+from repro.core.encrypted_column import EncryptedColumn
+from repro.core.query import (
+    EncryptedBound,
+    EncryptedBoundKey,
+    EncryptedQuery,
+    compare_encrypted_keys,
+)
+from repro.errors import IndexStateError
+
+
+class SecureAdaptiveIndex:
+    """Query-triggered cracking over an :class:`EncryptedColumn`.
+
+    Args:
+        column: the encrypted column (owned by the engine thereafter).
+        min_piece_size: pieces at or below this size are scanned with
+            scalar products instead of cracked — the Section 2.2
+            threshold that also caps structural order leakage.
+        use_three_way: crack once, three ways, when both bounds land in
+            a single raw piece.
+        use_paper_tree_algorithms: route piece localisation through the
+            pseudocode-literal transcriptions of Section 4.3 instead of
+            the generic helpers (identical results; fidelity mode).
+        record_stats: append per-query :class:`QueryStats` to
+            :attr:`stats_log`.
+    """
+
+    def __init__(
+        self,
+        column: EncryptedColumn,
+        min_piece_size: int = 1,
+        use_three_way: bool = False,
+        use_paper_tree_algorithms: bool = False,
+        record_stats: bool = True,
+    ) -> None:
+        self._column = column
+        self._tree = AVLTree(compare_encrypted_keys)
+        self._min_piece = max(1, int(min_piece_size))
+        self._use_three_way = use_three_way
+        self._use_paper_algorithms = use_paper_tree_algorithms
+        self._record_stats = record_stats
+        self.stats_log: List[QueryStats] = []
+
+    def __len__(self) -> int:
+        return len(self._column)
+
+    @property
+    def column(self) -> EncryptedColumn:
+        """The underlying encrypted column."""
+        return self._column
+
+    @property
+    def tree(self) -> AVLTree:
+        """The encrypted AVL cracker index."""
+        return self._tree
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(self, query: EncryptedQuery) -> Tuple[np.ndarray, List]:
+        """Answer one encrypted range query.
+
+        Cracks (at most two pieces, or one three-way) as a side effect
+        and returns ``(row_ids, ciphertext_rows)`` of the qualifying
+        tuples — the single-round response of paper requirement 5.
+        """
+        stats = QueryStats()
+        tree_comparisons_before = self._tree.comparison_count
+        for pivot in query.pivots:
+            self._crack_pivot(pivot, stats)
+        indices = self._execute(query, stats)
+        stats.comparisons += (
+            self._tree.comparison_count - tree_comparisons_before
+        )
+        row_ids = self._column.row_ids_at(indices)
+        rows = self._column.rows_at(indices)
+        stats.result_count = len(row_ids)
+        if self._record_stats:
+            self.stats_log.append(stats)
+        return row_ids, rows
+
+    def qualifying_indices(self, query: EncryptedQuery) -> np.ndarray:
+        """Physical indices of qualifying rows (cracks as a side effect).
+
+        Lower-level hook used by the server for tombstone filtering
+        before materialising ciphertexts.
+        """
+        stats = QueryStats()
+        tree_comparisons_before = self._tree.comparison_count
+        for pivot in query.pivots:
+            self._crack_pivot(pivot, stats)
+        indices = self._execute(query, stats)
+        stats.comparisons += (
+            self._tree.comparison_count - tree_comparisons_before
+        )
+        stats.result_count = len(indices)
+        if self._record_stats:
+            self.stats_log.append(stats)
+        return indices
+
+    # -- internals --------------------------------------------------------------
+
+    def _execute(self, query: EncryptedQuery, stats: QueryStats) -> np.ndarray:
+        size = len(self._column)
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        left_key = query.left_key
+        right_key = query.right_key
+        if self._use_three_way and left_key is not None and right_key is not None:
+            three_way = self._try_three_way(query, stats)
+            if three_way is not None:
+                return np.arange(three_way[0], three_way[1], dtype=np.int64)
+        if left_key is None:
+            left = _BoundResolution(position=0)
+        else:
+            left = self._resolve(left_key, stats)
+        if right_key is None:
+            right = _BoundResolution(position=size)
+        else:
+            right = self._resolve(right_key, stats)
+        if (
+            not left.is_exact
+            and not right.is_exact
+            and left.piece == right.piece
+        ):
+            return self._timed_scan(left.piece, query, stats)
+        segments: List[np.ndarray] = []
+        if left.is_exact:
+            start = left.position
+        else:
+            start = left.piece[1]
+            segments.append(self._timed_scan(left.piece, query, stats))
+        end = right.position if right.is_exact else right.piece[0]
+        if start < end:
+            segments.append(np.arange(start, end, dtype=np.int64))
+        if not right.is_exact:
+            segments.append(self._timed_scan(right.piece, query, stats))
+        if not segments:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(segments)
+
+    def _resolve(
+        self, key: EncryptedBoundKey, stats: QueryStats
+    ) -> _BoundResolution:
+        """Exact crack position for ``key``, cracking the piece if needed."""
+        size = len(self._column)
+        tick = time.perf_counter()
+        node = self._tree.find(key)
+        if node is None:
+            piece_lo, piece_hi = self._find_piece(key, size)
+        stats.search_seconds += time.perf_counter() - tick
+        if node is not None:
+            return _BoundResolution(position=node.position)
+        if piece_hi - piece_lo <= self._min_piece:
+            return _BoundResolution(piece=(piece_lo, piece_hi))
+        tick = time.perf_counter()
+        split = self._column.crack(piece_lo, piece_hi, key.bound.eb, key.inclusive)
+        stats.crack_seconds += time.perf_counter() - tick
+        stats.cracked_rows += piece_hi - piece_lo
+        stats.cracks += 1
+        stats.comparisons += piece_hi - piece_lo
+        tick = time.perf_counter()
+        self._add_crack(key, split, size)
+        stats.insert_seconds += time.perf_counter() - tick
+        return _BoundResolution(position=split)
+
+    def _crack_pivot(self, pivot: EncryptedBound, stats: QueryStats) -> None:
+        """Crack on a client-supplied auxiliary pivot (stochastic mode)."""
+        self._resolve(EncryptedBoundKey(pivot, inclusive=False), stats)
+
+    def _try_three_way(
+        self, query: EncryptedQuery, stats: QueryStats
+    ) -> Optional[Tuple[int, int]]:
+        """One-pass three-way crack when both bounds share a raw piece."""
+        size = len(self._column)
+        left_key, right_key = query.left_key, query.right_key
+        tick = time.perf_counter()
+        known = (
+            self._tree.find(left_key) is not None
+            or self._tree.find(right_key) is not None
+        )
+        left_piece = self._find_piece(left_key, size)
+        right_piece = self._find_piece(right_key, size)
+        stats.search_seconds += time.perf_counter() - tick
+        if known or left_piece != right_piece:
+            return None
+        piece_lo, piece_hi = left_piece
+        if piece_hi - piece_lo <= self._min_piece:
+            return None
+        tick = time.perf_counter()
+        split0, split1 = self._column.crack_three(
+            piece_lo,
+            piece_hi,
+            query.low.eb,
+            query.low_inclusive,
+            query.high.eb,
+            query.high_inclusive,
+        )
+        stats.crack_seconds += time.perf_counter() - tick
+        stats.cracked_rows += piece_hi - piece_lo
+        stats.cracks += 1
+        stats.comparisons += 2 * (piece_hi - piece_lo)
+        tick = time.perf_counter()
+        self._add_crack(left_key, split0, size)
+        self._add_crack(right_key, split1, size)
+        stats.insert_seconds += time.perf_counter() - tick
+        return split0, split1
+
+    def _timed_scan(self, piece, query: EncryptedQuery, stats: QueryStats) -> np.ndarray:
+        tick = time.perf_counter()
+        low_eb = query.low.eb if query.low is not None else None
+        high_eb = query.high.eb if query.high is not None else None
+        indices = self._column.scan_qualifying(
+            piece[0],
+            piece[1],
+            low_eb,
+            query.low_inclusive,
+            high_eb,
+            query.high_inclusive,
+        )
+        stats.scan_seconds += time.perf_counter() - tick
+        sides = (low_eb is not None) + (high_eb is not None)
+        stats.comparisons += sides * (piece[1] - piece[0])
+        return indices
+
+    def _find_piece(self, key: EncryptedBoundKey, size: int) -> Tuple[int, int]:
+        if self._use_paper_algorithms:
+            return find_piece_encrypted(self._tree, key, size)
+        return find_piece(self._tree, key, size)
+
+    def _add_crack(self, key: EncryptedBoundKey, split: int, size: int):
+        if self._use_paper_algorithms:
+            return add_crack_encrypted(self._tree, key, split, size)
+        return add_crack(self._tree, key, split, size)
+
+    # -- updates -------------------------------------------------------------------
+
+    def locate_piece_for_row(self, row) -> Tuple[int, int]:
+        """Piece ``[lo, hi)`` where a new encrypted row belongs.
+
+        Routes the row down the tree comparing it against each node's
+        ``Eb`` form (``sign(Eb(b_node) . Ev(v_new)) == sign(v_new -
+        b_node)``) — the server can do this without learning
+        ``v_new``.  Used by the ripple merge of pending inserts.
+        """
+        node = self._tree.root
+        piece_lo, piece_hi = 0, len(self._column)
+        while node is not None:
+            sign = node.key.bound.eb.product_sign(row)
+            belongs_left = sign < 0 or (sign == 0 and node.key.inclusive)
+            if belongs_left:
+                piece_hi = node.position
+                node = node.left
+            else:
+                piece_lo = node.position
+                node = node.right
+        return piece_lo, piece_hi
+
+    def insert_row(self, row, row_id: int) -> int:
+        """Ripple-insert one row into its piece; returns the position.
+
+        Physically inserts at the upper edge of the target piece and
+        shifts every crack position at or beyond it by one, keeping all
+        tree invariants intact.
+        """
+        __, piece_hi = self.locate_piece_for_row(row)
+        self._column.insert_at(piece_hi, row, row_id)
+        for node in self._tree.in_order():
+            if node.position >= piece_hi:
+                node.position += 1
+        return piece_hi
+
+    def delete_row(self, row_id: int) -> int:
+        """Physically remove a row by id; returns its old position."""
+        position = self._column.physical_index_of(row_id)
+        self._column.delete_at(position)
+        for node in self._tree.in_order():
+            if node.position > position:
+                node.position -= 1
+        return position
+
+    # -- introspection ----------------------------------------------------------------
+
+    def piece_boundaries(self) -> List[int]:
+        """Sorted crack positions including column ends (leakage input)."""
+        positions = sorted({node.position for node in self._tree.in_order()})
+        return [0] + positions + [len(self._column)]
+
+    def check_invariants(self) -> None:
+        """Assert every indexed crack still partitions the column.
+
+        Notably the *server* can run this check itself — each node
+        stores the bound's ``Eb`` form, so partition membership is a
+        sign test.  (It learns nothing new: the partition is exactly
+        what cracking already revealed.)
+
+        Raises:
+            AssertionError: on any violated invariant.
+        """
+        self._tree.check_invariants()
+        size = len(self._column)
+        for node in self._tree.in_order():
+            if not 0 <= node.position <= size:
+                raise IndexStateError("node position out of range")
+            products = self._column.products(0, size, node.key.bound.eb)
+            if node.key.inclusive:
+                left_ok = np.all(products[: node.position] <= 0)
+                right_ok = np.all(products[node.position:] > 0)
+            else:
+                left_ok = np.all(products[: node.position] < 0)
+                right_ok = np.all(products[node.position:] >= 0)
+            assert left_ok, "rows before the crack violate its predicate"
+            assert right_ok, "rows after the crack violate its predicate"

@@ -1,0 +1,61 @@
+"""SecureScan: the paper's no-index baseline over encrypted data.
+
+"We compare our cracking-based results against a plain scan of the
+encrypted numeric data, evaluating queries using comparisons via scalar
+products without any indexing or cracking; we call this approach
+SecureScan" (Section 5).  Every query costs two scalar products per
+row, forever — the dashed reference lines of Figures 6 and 7.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.encrypted_column import EncryptedColumn
+from repro.core.query import EncryptedQuery
+from repro.cracking.index import QueryStats
+
+
+class SecureScan:
+    """Full-column scalar-product scan; never reorganises anything."""
+
+    def __init__(self, column: EncryptedColumn, record_stats: bool = True) -> None:
+        self._column = column
+        self._record_stats = record_stats
+        self.stats_log: List[QueryStats] = []
+
+    def __len__(self) -> int:
+        return len(self._column)
+
+    @property
+    def column(self) -> EncryptedColumn:
+        """The underlying encrypted column (left in upload order)."""
+        return self._column
+
+    def query(self, query: EncryptedQuery) -> Tuple[np.ndarray, List]:
+        """Answer one encrypted range query by scanning everything."""
+        indices = self.qualifying_indices(query)
+        return self._column.row_ids_at(indices), self._column.rows_at(indices)
+
+    def qualifying_indices(self, query: EncryptedQuery) -> np.ndarray:
+        """Physical indices of qualifying rows (no side effects)."""
+        tick = time.perf_counter()
+        indices = self._column.scan_qualifying(
+            0,
+            len(self._column),
+            query.low.eb if query.low is not None else None,
+            query.low_inclusive,
+            query.high.eb if query.high is not None else None,
+            query.high_inclusive,
+        )
+        if self._record_stats:
+            self.stats_log.append(
+                QueryStats(
+                    scan_seconds=time.perf_counter() - tick,
+                    result_count=len(indices),
+                )
+            )
+        return indices

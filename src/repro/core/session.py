@@ -1,0 +1,239 @@
+"""End-to-end outsourced database session.
+
+:class:`OutsourcedDatabase` wires a :class:`~repro.core.client.TrustedClient`
+to a :class:`~repro.core.server.SecureServer` and exposes the plaintext
+interface the data owner actually uses: load a column, run range and
+point queries, insert and delete values.  Each query is exactly one
+round trip (paper requirement 5) — the session counts them so tests can
+enforce it.
+
+The session also implements the client-assisted stochastic-cracking
+extension: with ``jitter_pivots > 0`` the client attaches that many
+random encrypted pivot bounds to every query, giving the server
+robustness pivots it could never generate itself (Section 5.5: data
+"can be sorted only in a query-triggered manner, relying on encrypted
+pivot values provided by the client").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.client import ClientResult, TrustedClient
+from repro.core.server import SecureServer
+from repro.crypto.key import SecretKey
+from repro.errors import QueryError, UpdateError
+
+
+class OutsourcedDatabase:
+    """One encrypted column outsourced to a (simulated) cloud server.
+
+    Args:
+        values: the plaintext column to outsource.
+        ambiguity: enable the Section 4.2 two-branch encryption.
+        engine: ``"adaptive"`` (secure cracking) or ``"scan"``
+            (SecureScan baseline).
+        key: reuse an existing secret key; generated when omitted.
+        seed: reproducibility seed for key generation, encryption
+            randomness, and jitter pivots.
+        key_length: ciphertext length ``l`` when generating a key.
+        jitter_pivots: number of random client-supplied pivots attached
+            to each query (0 disables; requires the adaptive engine).
+        pivot_domain: half-open plaintext interval pivots are drawn
+            from; defaults to the column's observed min/max.
+        min_piece_size / use_three_way / use_paper_tree_algorithms /
+            record_stats: forwarded to the server engine.
+    """
+
+    def __init__(
+        self,
+        values: Sequence[int],
+        ambiguity: bool = False,
+        engine: str = "adaptive",
+        key: SecretKey = None,
+        seed: int = None,
+        key_length: int = 4,
+        fake_domain: Tuple[int, int] = None,
+        jitter_pivots: int = 0,
+        pivot_domain: Tuple[int, int] = None,
+        auto_merge_threshold: int = None,
+        min_piece_size: int = 1,
+        use_three_way: bool = False,
+        use_paper_tree_algorithms: bool = False,
+        record_stats: bool = True,
+    ) -> None:
+        values = [int(v) for v in values]
+        self.client = TrustedClient(
+            key=key,
+            seed=seed,
+            ambiguity=ambiguity,
+            key_length=key_length,
+            fake_domain=fake_domain,
+        )
+        rows, row_ids = self.client.encrypt_dataset(values)
+        self.server = SecureServer(
+            rows,
+            row_ids,
+            engine=engine,
+            auto_merge_threshold=auto_merge_threshold,
+            min_piece_size=min_piece_size,
+            use_three_way=use_three_way,
+            use_paper_tree_algorithms=use_paper_tree_algorithms,
+            record_stats=record_stats,
+        )
+        if jitter_pivots and engine != "adaptive":
+            raise QueryError("jitter pivots require the adaptive engine")
+        self._jitter_pivots = int(jitter_pivots)
+        if pivot_domain is None and values:
+            pivot_domain = (min(values), max(values) + 1)
+        self._pivot_domain = pivot_domain
+        self._pivot_rng = random.Random(None if seed is None else seed + 2)
+        self._logical_count = len(values)
+        self._physical_per_value = 2 if ambiguity else 1
+        self._base_physical_count = len(rows)
+        # Inserted rows leave the formulaic id space; track explicitly.
+        self._inserted_physical_to_logical: Dict[int, int] = {}
+        self._logical_to_physical: Dict[int, List[int]] = {}
+        self.round_trips = 0
+        self.bytes_sent = 0
+        self.client_stats: List[ClientResult] = []
+
+    def __len__(self) -> int:
+        return self._logical_count
+
+    # -- queries ------------------------------------------------------------------
+
+    def query(
+        self,
+        low: int = None,
+        high: int = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> ClientResult:
+        """Run one range query end to end (one round trip).
+
+        Either bound may be None for a one-sided query.
+        """
+        pivots = self._draw_pivots()
+        message = self.client.make_query(
+            low, high, low_inclusive, high_inclusive, pivots=pivots
+        )
+        self.bytes_sent += message.size_bytes
+        response = self.server.execute(message)
+        self.round_trips += 1
+        result = self.client.decrypt_results(
+            response.row_ids, response.rows, id_mapper=self._map_physical_id
+        )
+        self.client_stats.append(result)
+        return result
+
+    def query_point(self, value: int) -> ClientResult:
+        """Run one equality query end to end."""
+        return self.query(value, value, True, True)
+
+    def query_below(self, bound: int, inclusive: bool = True) -> ClientResult:
+        """One-sided query ``A <= bound`` (or ``<``); cracks one piece."""
+        return self.query(high=bound, high_inclusive=inclusive)
+
+    def query_above(self, bound: int, inclusive: bool = True) -> ClientResult:
+        """One-sided query ``A >= bound`` (or ``>``); cracks one piece."""
+        return self.query(low=bound, low_inclusive=inclusive)
+
+    def query_values(self, low: int, high: int, **kwargs) -> np.ndarray:
+        """Convenience: sorted plaintext values in range."""
+        return np.sort(self.query(low, high, **kwargs).values)
+
+    # -- updates --------------------------------------------------------------------
+
+    def insert(self, value: int) -> int:
+        """Encrypt and insert a new value; returns its logical id."""
+        rows = self.client.encrypt_value(int(value))
+        physical_ids = self.server.insert(rows)
+        logical_id = self._logical_count
+        self._logical_count += 1
+        for physical_id in physical_ids:
+            self._inserted_physical_to_logical[physical_id] = logical_id
+        self._logical_to_physical[logical_id] = list(physical_ids)
+        return logical_id
+
+    def delete(self, logical_id: int) -> None:
+        """Delete a value by logical id (base or inserted)."""
+        self.server.delete(self._physical_ids_of(logical_id))
+
+    def merge(self) -> int:
+        """Merge the server's pending buffer into the cracked column."""
+        return self.server.merge_pending()
+
+    def rotate_key(self, new_seed: int = None) -> Dict[int, int]:
+        """Re-encrypt everything under a fresh key.
+
+        Periodic key rotation is standard hygiene — and under this
+        scheme it is also the recovery path after a suspected
+        known-plaintext exposure (the attacks of Section 3.5 break the
+        *key*, not the primitive).  The client fetches all live rows in
+        one round, merges pending state, draws a fresh key, re-encrypts,
+        and replaces the server state; the adaptive index restarts
+        empty (its structure was derived under the old ciphertexts).
+
+        Logical ids are compacted; returns the old-to-new id mapping.
+        """
+        self.merge()
+        everything = self.query(-(2 ** 62), 2 ** 62)
+        old_ids = [int(i) for i in everything.logical_ids]
+        values = [int(v) for v in everything.values]
+        order = sorted(range(len(old_ids)), key=lambda i: old_ids[i])
+        values = [values[i] for i in order]
+        mapping = {old_ids[i]: new for new, i in enumerate(order)}
+        self.client = TrustedClient(
+            key=None,
+            seed=new_seed,
+            ambiguity=self.client.ambiguity,
+            key_length=self.client.key.length,
+            fake_domain=self.client.fake_domain,
+        )
+        rows, row_ids = self.client.encrypt_dataset(values)
+        self.server = SecureServer(
+            rows,
+            row_ids,
+            engine=self.server.engine_kind,
+            min_piece_size=getattr(self.server.engine, "_min_piece", 1),
+        )
+        self._logical_count = len(values)
+        self._base_physical_count = len(rows)
+        self._inserted_physical_to_logical = {}
+        self._logical_to_physical = {}
+        return mapping
+
+    # -- internals --------------------------------------------------------------------
+
+    def _draw_pivots(self) -> Tuple[int, ...]:
+        if not self._jitter_pivots or self._pivot_domain is None:
+            return ()
+        low, high = self._pivot_domain
+        if high <= low:
+            return ()
+        return tuple(
+            self._pivot_rng.randrange(low, high) for _ in range(self._jitter_pivots)
+        )
+
+    def _map_physical_id(self, physical_id: int) -> int:
+        if physical_id < self._base_physical_count:
+            return self.client.logical_id(physical_id)
+        try:
+            return self._inserted_physical_to_logical[physical_id]
+        except KeyError:
+            raise QueryError(
+                "server returned unknown row id %d" % physical_id
+            ) from None
+
+    def _physical_ids_of(self, logical_id: int) -> List[int]:
+        if logical_id < 0 or logical_id >= self._logical_count:
+            raise UpdateError("unknown logical id %d" % logical_id)
+        if logical_id in self._logical_to_physical:
+            return self._logical_to_physical[logical_id]
+        if self._physical_per_value == 1:
+            return [logical_id]
+        return [2 * logical_id, 2 * logical_id + 1]

@@ -1,0 +1,38 @@
+"""Database cracking substrate (paper, Section 2.2).
+
+Self-contained adaptive-indexing machinery over *plaintext* columns —
+the baseline the paper builds on — plus the pieces shared with the
+encrypted engine:
+
+* :mod:`repro.cracking.avl` — AVL tree with a pluggable comparator
+  (the same tree indexes plaintext bounds and encrypted bound vectors).
+* :mod:`repro.cracking.algorithms` — ``CrackInTwo`` (the paper's
+  Algorithm 1), a three-way variant, and vectorised equivalents.
+* :mod:`repro.cracking.cracker_tree` — the paper's ``findpiece`` and
+  ``addCrack`` procedures, generic over the key comparator.
+* :mod:`repro.cracking.column` / :mod:`repro.cracking.index` — the
+  plaintext cracker column and adaptive index engine.
+* :mod:`repro.cracking.stochastic` — random-pivot (stochastic)
+  cracking, the robustness variant the paper cites.
+* :mod:`repro.cracking.baselines` — full scan and sort-once baselines.
+"""
+
+from repro.cracking.adaptive_merging import AdaptiveMergingIndex
+from repro.cracking.avl import AVLTree
+from repro.cracking.baselines import FullScanIndex, FullSortIndex
+from repro.cracking.column import CrackerColumn
+from repro.cracking.index import AdaptiveIndex, QueryStats
+from repro.cracking.sort_touch import SortTouchAdaptiveIndex
+from repro.cracking.stochastic import StochasticAdaptiveIndex
+
+__all__ = [
+    "AdaptiveMergingIndex",
+    "AVLTree",
+    "CrackerColumn",
+    "AdaptiveIndex",
+    "QueryStats",
+    "FullScanIndex",
+    "FullSortIndex",
+    "SortTouchAdaptiveIndex",
+    "StochasticAdaptiveIndex",
+]

@@ -1,0 +1,135 @@
+"""Core cracking algorithms (paper, Algorithm 1 and Section 2.2).
+
+Two families are provided:
+
+* *Pointer-faithful* in-place procedures (:func:`crack_in_two`,
+  :func:`crack_in_three`) that mirror the paper's Algorithm 1: two
+  converging cursors exchanging misplaced tuples, touching each element
+  at most a constant number of times.  They are generic over *how* an
+  element is classified (a plaintext comparison or an encrypted scalar
+  product) and *how* two rows are exchanged, so the same code cracks
+  plain and encrypted columns.
+
+* *Vectorised* helpers (:func:`partition_order`,
+  :func:`three_way_partition_order`) that compute the stable
+  permutation realising the same partition from a boolean mask /
+  region labels.  Plain columns use these on the numpy fast path; the
+  tests assert both families produce equivalent partitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+import numpy as np
+
+Predicate = Callable[[int], bool]
+RegionOf = Callable[[int], int]
+Swap = Callable[[int, int], None]
+
+
+def crack_in_two(
+    belongs_left: Predicate,
+    swap: Swap,
+    pos_lo: int,
+    pos_hi: int,
+) -> int:
+    """Partition ``[pos_lo, pos_hi]`` (inclusive) in place; return the split.
+
+    Faithful transcription of the paper's Algorithm 1
+    (``CrackInTwo``): cursor ``x1`` walks right over elements already
+    on the correct (left) side, cursor ``x2`` walks left over elements
+    already on the correct (right) side, and misplaced pairs are
+    exchanged.  ``belongs_left(i)`` classifies the element *currently*
+    at index ``i`` (e.g. ``value < med`` — the paper's ``phi_1``; its
+    negation is ``phi_2``).
+
+    Returns:
+        The first index of the right-hand partition: elements at
+        indices ``< split`` satisfy ``belongs_left``; elements at
+        ``>= split`` (up to ``pos_hi``) do not.
+    """
+    if pos_hi < pos_lo:
+        return pos_lo
+    x1, x2 = pos_lo, pos_hi
+    while x1 < x2:
+        if belongs_left(x1):
+            x1 += 1
+        else:
+            while not belongs_left(x2) and x2 > x1:
+                x2 -= 1
+            swap(x1, x2)
+            x1 += 1
+            x2 -= 1
+    # Loop invariant: indices < x1 belong left, indices > x2 belong
+    # right.  Termination leaves three shapes (see the analysis in the
+    # tests): cursors met on one unexamined element, crossed by one, or
+    # crossed by two after a degenerate self-exchange.
+    if x1 == x2:
+        return x1 + 1 if belongs_left(x1) else x1
+    if x1 == x2 + 2:
+        return x1 - 1
+    return x1
+
+
+def crack_in_three(
+    region_of: RegionOf,
+    swap: Swap,
+    pos_lo: int,
+    pos_hi: int,
+) -> Tuple[int, int]:
+    """Three-way partition of ``[pos_lo, pos_hi]`` (inclusive), in place.
+
+    Single-pass Dutch-national-flag sweep: ``region_of(i)`` classifies
+    the element currently at ``i`` into region 0 (below the range),
+    1 (inside), or 2 (above).  This realises the paper's "split a piece
+    of a column into three pieces" optimisation for two-sided range
+    predicates in one pass instead of two ``crack_in_two`` calls.
+
+    Returns:
+        ``(split0, split1)``: region 0 occupies ``[pos_lo, split0)``,
+        region 1 ``[split0, split1)``, region 2 ``[split1, pos_hi]``.
+    """
+    low, mid, high = pos_lo, pos_lo, pos_hi
+    while mid <= high:
+        region = region_of(mid)
+        if region == 0:
+            swap(low, mid)
+            low += 1
+            mid += 1
+        elif region == 1:
+            mid += 1
+        elif region == 2:
+            swap(mid, high)
+            high -= 1
+        else:
+            raise ValueError("region_of must return 0, 1, or 2, got %r" % region)
+    return low, mid
+
+
+def partition_order(mask: np.ndarray) -> np.ndarray:
+    """Stable permutation putting True-mask elements first.
+
+    Vectorised counterpart of :func:`crack_in_two`: applying the
+    returned index array to a slice realises the same two-way partition
+    (stably, which the in-place version is not — only the *partition*
+    is contractual, not the intra-piece order).
+    """
+    mask = np.asarray(mask, dtype=bool)
+    return np.concatenate(
+        (np.flatnonzero(mask), np.flatnonzero(~mask))
+    )
+
+
+def three_way_partition_order(regions: np.ndarray) -> Tuple[np.ndarray, int, int]:
+    """Stable permutation grouping region labels 0, 1, 2 in order.
+
+    Returns:
+        ``(order, count0, count01)`` where ``count0`` elements belong
+        to region 0 and ``count01`` to regions 0 and 1 combined.
+    """
+    regions = np.asarray(regions)
+    order = np.argsort(regions, kind="stable")
+    count0 = int(np.count_nonzero(regions == 0))
+    count01 = count0 + int(np.count_nonzero(regions == 1))
+    return order, count0, count01

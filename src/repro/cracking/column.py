@@ -1,0 +1,180 @@
+"""Plaintext cracker column.
+
+The paper's prototype "receives a column of values (fixed-width dense
+array) as input and returns a set of positions that mark qualifying
+values" (Section 5).  :class:`CrackerColumn` is that fixed-width dense
+array: a numpy ``int64`` value array plus the parallel *base position*
+array recording where each tuple lived in the original column — the
+cracker-index copy of Figure 1 ("the original column A (including
+positions) is copied into a cracker index column, which is then
+continuously reorganized").
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.cracking.algorithms import (
+    crack_in_two,
+    partition_order,
+    three_way_partition_order,
+)
+from repro.errors import IndexStateError
+
+
+class CrackerColumn:
+    """A dense value column physically reorganised by cracking.
+
+    Args:
+        values: one-dimensional integer array-like; copied.
+        use_inplace_algorithm: route cracks through the
+            pointer-faithful Algorithm 1 instead of the vectorised
+            partition (slower; used by fidelity tests).
+    """
+
+    def __init__(self, values, use_inplace_algorithm: bool = False) -> None:
+        self._values = np.array(values, dtype=np.int64).reshape(-1)
+        self._positions = np.arange(len(self._values), dtype=np.int64)
+        self._use_inplace = use_inplace_algorithm
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The current physical value order (read-only view)."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Base positions parallel to :attr:`values` (read-only view)."""
+        view = self._positions.view()
+        view.flags.writeable = False
+        return view
+
+    # -- cracking -----------------------------------------------------------
+
+    def crack(self, piece_lo: int, piece_hi: int, bound: int, inclusive: bool) -> int:
+        """Reorganise ``[piece_lo, piece_hi)`` around ``bound``.
+
+        After the call, rows with ``value < bound`` (``<= bound`` when
+        ``inclusive``) occupy ``[piece_lo, split)`` and the rest
+        ``[split, piece_hi)``.
+
+        Returns:
+            The split position.
+        """
+        self._check_range(piece_lo, piece_hi)
+        if self._use_inplace:
+            return self._crack_inplace(piece_lo, piece_hi, bound, inclusive)
+        chunk = self._values[piece_lo:piece_hi]
+        mask = chunk <= bound if inclusive else chunk < bound
+        order = partition_order(mask)
+        self._values[piece_lo:piece_hi] = chunk[order]
+        self._positions[piece_lo:piece_hi] = self._positions[piece_lo:piece_hi][order]
+        return piece_lo + int(np.count_nonzero(mask))
+
+    def _crack_inplace(
+        self, piece_lo: int, piece_hi: int, bound: int, inclusive: bool
+    ) -> int:
+        """Algorithm 1 path: converging cursors with tuple exchanges."""
+        values, positions = self._values, self._positions
+
+        if inclusive:
+            def belongs_left(i: int) -> bool:
+                return values[i] <= bound
+        else:
+            def belongs_left(i: int) -> bool:
+                return values[i] < bound
+
+        def swap(i: int, j: int) -> None:
+            values[i], values[j] = values[j], values[i]
+            positions[i], positions[j] = positions[j], positions[i]
+
+        return crack_in_two(belongs_left, swap, piece_lo, piece_hi - 1)
+
+    def crack_three(
+        self,
+        piece_lo: int,
+        piece_hi: int,
+        low: int,
+        low_inclusive: bool,
+        high: int,
+        high_inclusive: bool,
+    ) -> Tuple[int, int]:
+        """Three-way reorganisation of ``[piece_lo, piece_hi)`` in one pass.
+
+        Region 0 holds rows below the range (failing the ``low`` side),
+        region 1 rows inside ``[low, high]`` (respecting inclusiveness),
+        region 2 rows above.  Realises the paper's split-into-three
+        optimisation for a two-sided predicate landing in one piece.
+
+        Returns:
+            ``(split0, split1)``: the range rows occupy
+            ``[split0, split1)``.
+        """
+        self._check_range(piece_lo, piece_hi)
+        chunk = self._values[piece_lo:piece_hi]
+        below = chunk < low if low_inclusive else chunk <= low
+        above = chunk > high if high_inclusive else chunk >= high
+        regions = np.where(below, 0, np.where(above, 2, 1))
+        order, count0, count01 = three_way_partition_order(regions)
+        self._values[piece_lo:piece_hi] = chunk[order]
+        self._positions[piece_lo:piece_hi] = self._positions[piece_lo:piece_hi][order]
+        return piece_lo + count0, piece_lo + count01
+
+    # -- scans ----------------------------------------------------------------
+
+    def scan_positions(
+        self,
+        piece_lo: int,
+        piece_hi: int,
+        low: int = None,
+        low_inclusive: bool = True,
+        high: int = None,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Base positions of rows in ``[piece_lo, piece_hi)`` within range.
+
+        ``low`` / ``high`` of None mean unbounded on that side.  Used
+        for edge pieces below the cracking threshold (Section 2.2:
+        "when a piece becomes small enough ... we scan the data at
+        virtually no overhead").
+        """
+        self._check_range(piece_lo, piece_hi)
+        chunk = self._values[piece_lo:piece_hi]
+        mask = np.ones(len(chunk), dtype=bool)
+        if low is not None:
+            mask &= chunk >= low if low_inclusive else chunk > low
+        if high is not None:
+            mask &= chunk <= high if high_inclusive else chunk < high
+        return self._positions[piece_lo:piece_hi][mask]
+
+    def positions_in(self, piece_lo: int, piece_hi: int) -> np.ndarray:
+        """Base positions of every row in ``[piece_lo, piece_hi)``."""
+        self._check_range(piece_lo, piece_hi)
+        return self._positions[piece_lo:piece_hi].copy()
+
+    # -- verification -------------------------------------------------------
+
+    def check_partition(self, split: int, bound: int, inclusive: bool,
+                        piece_lo: int = 0, piece_hi: int = None) -> bool:
+        """Whether ``[piece_lo, split)`` / ``[split, piece_hi)`` respects ``bound``."""
+        if piece_hi is None:
+            piece_hi = len(self)
+        left = self._values[piece_lo:split]
+        right = self._values[split:piece_hi]
+        if inclusive:
+            return bool(np.all(left <= bound) and np.all(right > bound))
+        return bool(np.all(left < bound) and np.all(right >= bound))
+
+    def _check_range(self, piece_lo: int, piece_hi: int) -> None:
+        if not 0 <= piece_lo <= piece_hi <= len(self):
+            raise IndexStateError(
+                "piece [%d, %d) out of bounds for column of size %d"
+                % (piece_lo, piece_hi, len(self))
+            )

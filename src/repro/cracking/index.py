@@ -1,0 +1,342 @@
+"""Plaintext adaptive index: cracking select operator + AVL cracker tree.
+
+This is the paper's baseline system (Section 2.2): a select operator
+that answers a range query *and*, as a side effect, physically
+reorganises the touched pieces and refines the AVL cracker index.  The
+"Plain" curves of Figures 6-8 and 11 are produced by this engine; the
+secure engine of :mod:`repro.core.secure_index` mirrors its structure
+with encrypted comparisons.
+
+Query semantics: ``query(low, high, low_inclusive, high_inclusive)``
+returns the *base positions* (original row ids) of qualifying tuples —
+the column-store select interface of Section 5 ("returns a set of
+positions that mark qualifying values").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cracking.avl import AVLTree
+from repro.cracking.column import CrackerColumn
+from repro.cracking.cracker_tree import add_crack, find_piece
+from repro.errors import QueryError
+
+#: Tree key: (bound, inclusive).  Node semantics: every row before the
+#: node's position satisfies ``value < bound`` (inclusive=False) or
+#: ``value <= bound`` (inclusive=True).  Lexicographic tuple order
+#: (False < True) matches predicate-set inclusion over the integers.
+BoundKey = Tuple[int, bool]
+
+
+def _compare_bound_keys(a: BoundKey, b: BoundKey) -> int:
+    """Total order on plaintext bound keys."""
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+@dataclass
+class QueryStats:
+    """Per-query cost breakdown (Figures 8-10 report these series).
+
+    Attributes:
+        search_seconds: time locating pieces in the AVL tree.
+        crack_seconds: time physically reorganising column pieces.
+        insert_seconds: time adding crack bounds to the tree
+            (including rebalancing).
+        scan_seconds: time scanning sub-threshold edge pieces.
+        result_count: number of qualifying rows returned.
+        cracked_rows: rows physically touched by cracking.
+        cracks: number of crack operations performed (0-2, or 1 for a
+            three-way crack).
+        comparisons: predicate evaluations performed (cost model —
+            machine-independent; for the secure engine each one is a
+            scalar product): one per row classified by a crack, two per
+            row filtered by a two-sided scan, one per AVL key
+            comparison.
+    """
+
+    search_seconds: float = 0.0
+    crack_seconds: float = 0.0
+    insert_seconds: float = 0.0
+    scan_seconds: float = 0.0
+    result_count: int = 0
+    cracked_rows: int = 0
+    cracks: int = 0
+    comparisons: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all recorded phases."""
+        return (
+            self.search_seconds
+            + self.crack_seconds
+            + self.insert_seconds
+            + self.scan_seconds
+        )
+
+
+@dataclass
+class _BoundResolution:
+    """Where a query bound landed: an exact position or a raw piece."""
+
+    position: Optional[int] = None
+    piece: Optional[Tuple[int, int]] = None
+
+    @property
+    def is_exact(self) -> bool:
+        return self.position is not None
+
+
+class AdaptiveIndex:
+    """Self-organising cracking index over a plaintext integer column.
+
+    Args:
+        values: the column (copied).
+        min_piece_size: pieces at or below this size are scanned rather
+            than cracked (Section 2.2's cache-size threshold — also the
+            mechanism that keeps the index from ever leaking a total
+            order).  1 means "always crack".
+        use_three_way: crack with one three-way pass when both query
+            bounds land in the same piece (instead of two two-way
+            cracks).
+        record_stats: append a :class:`QueryStats` to :attr:`stats_log`
+            for every query.
+    """
+
+    def __init__(
+        self,
+        values,
+        min_piece_size: int = 1,
+        use_three_way: bool = False,
+        record_stats: bool = True,
+    ) -> None:
+        self._column = CrackerColumn(values)
+        self._tree = AVLTree(_compare_bound_keys)
+        self._min_piece = max(1, int(min_piece_size))
+        self._use_three_way = use_three_way
+        self._record_stats = record_stats
+        self.stats_log: List[QueryStats] = []
+
+    def __len__(self) -> int:
+        return len(self._column)
+
+    @property
+    def column(self) -> CrackerColumn:
+        """The underlying cracker column (read access for analysis)."""
+        return self._column
+
+    @property
+    def tree(self) -> AVLTree:
+        """The AVL cracker index (read access for analysis)."""
+        return self._tree
+
+    # -- querying -------------------------------------------------------------
+
+    def query(
+        self,
+        low: int = None,
+        high: int = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Answer a range query, cracking touched pieces as a side effect.
+
+        Either bound may be None for a one-sided query (``A <= high`` /
+        ``A >= low``), which cracks at most one piece.  Returns the
+        base positions of qualifying rows (unordered).
+
+        Raises:
+            QueryError: if ``low > high``.
+        """
+        if low is not None and high is not None and low > high:
+            raise QueryError("inverted range: low=%r > high=%r" % (low, high))
+        stats = QueryStats()
+        tree_comparisons_before = self._tree.comparison_count
+        # The crack separating non-qualifying low rows: rows with
+        # v < low (inclusive query) or v <= low (exclusive query).
+        left_key: BoundKey = None if low is None else (low, not low_inclusive)
+        # The crack whose left side is the qualifying high side.
+        right_key: BoundKey = None if high is None else (high, high_inclusive)
+        result = self._execute(left_key, right_key, low, high,
+                               low_inclusive, high_inclusive, stats)
+        stats.result_count = len(result)
+        stats.comparisons += (
+            self._tree.comparison_count - tree_comparisons_before
+        )
+        if self._record_stats:
+            self.stats_log.append(stats)
+        return result
+
+    def query_point(self, value: int) -> np.ndarray:
+        """Answer an equality query (``A == value``)."""
+        return self.query(value, value, True, True)
+
+    # -- internals -------------------------------------------------------------
+
+    def _execute(
+        self,
+        left_key: BoundKey,
+        right_key: BoundKey,
+        low: int,
+        high: int,
+        low_inclusive: bool,
+        high_inclusive: bool,
+        stats: QueryStats,
+    ) -> np.ndarray:
+        size = len(self._column)
+        if size == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._use_three_way and left_key is not None and right_key is not None:
+            three_way = self._try_three_way(left_key, right_key, stats)
+            if three_way is not None:
+                return self._column.positions_in(*three_way)
+        if left_key is None:
+            left = _BoundResolution(position=0)
+        else:
+            left = self._resolve(left_key, stats)
+        if right_key is None:
+            right = _BoundResolution(position=size)
+        else:
+            right = self._resolve(right_key, stats)
+        scan_args = dict(
+            low=low,
+            low_inclusive=low_inclusive,
+            high=high,
+            high_inclusive=high_inclusive,
+        )
+        if (
+            not left.is_exact
+            and not right.is_exact
+            and left.piece == right.piece
+        ):
+            return self._timed_scan(left.piece, scan_args, stats)
+        segments: List[np.ndarray] = []
+        if left.is_exact:
+            start = left.position
+        else:
+            start = left.piece[1]
+            segments.append(self._timed_scan(left.piece, scan_args, stats))
+        if right.is_exact:
+            end = right.position
+        else:
+            end = right.piece[0]
+            # Scanned below, after the contiguous middle.
+        if start < end:
+            segments.append(self._column.positions_in(start, end))
+        if not right.is_exact:
+            segments.append(self._timed_scan(right.piece, scan_args, stats))
+        if not segments:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(segments)
+
+    def _resolve(self, key: BoundKey, stats: QueryStats) -> _BoundResolution:
+        """Find the exact crack position for ``key``, cracking if needed."""
+        size = len(self._column)
+        tick = time.perf_counter()
+        node = self._tree.find(key)
+        if node is None:
+            piece_lo, piece_hi = find_piece(self._tree, key, size)
+        stats.search_seconds += time.perf_counter() - tick
+        if node is not None:
+            return _BoundResolution(position=node.position)
+        if piece_hi - piece_lo <= self._min_piece:
+            return _BoundResolution(piece=(piece_lo, piece_hi))
+        bound, inclusive = key
+        tick = time.perf_counter()
+        split = self._column.crack(piece_lo, piece_hi, bound, inclusive)
+        stats.crack_seconds += time.perf_counter() - tick
+        stats.cracked_rows += piece_hi - piece_lo
+        stats.cracks += 1
+        stats.comparisons += piece_hi - piece_lo
+        tick = time.perf_counter()
+        add_crack(self._tree, key, split, size)
+        stats.insert_seconds += time.perf_counter() - tick
+        return _BoundResolution(position=split)
+
+    def _try_three_way(
+        self, left_key: BoundKey, right_key: BoundKey, stats: QueryStats
+    ) -> Optional[Tuple[int, int]]:
+        """One-pass three-way crack when both bounds share a raw piece.
+
+        Returns the qualifying physical range on success, None when the
+        preconditions fail (either bound already indexed, different
+        pieces, or the piece is below the cracking threshold).
+        """
+        size = len(self._column)
+        tick = time.perf_counter()
+        left_known = self._tree.find(left_key) is not None
+        right_known = self._tree.find(right_key) is not None
+        left_piece = find_piece(self._tree, left_key, size)
+        right_piece = find_piece(self._tree, right_key, size)
+        stats.search_seconds += time.perf_counter() - tick
+        if left_known or right_known or left_piece != right_piece:
+            return None
+        piece_lo, piece_hi = left_piece
+        if piece_hi - piece_lo <= self._min_piece:
+            return None
+        tick = time.perf_counter()
+        split0, split1 = self._column.crack_three(
+            piece_lo,
+            piece_hi,
+            left_key[0],
+            not left_key[1],
+            right_key[0],
+            right_key[1],
+        )
+        stats.crack_seconds += time.perf_counter() - tick
+        stats.cracked_rows += piece_hi - piece_lo
+        stats.cracks += 1
+        stats.comparisons += 2 * (piece_hi - piece_lo)
+        tick = time.perf_counter()
+        add_crack(self._tree, left_key, split0, size)
+        add_crack(self._tree, right_key, split1, size)
+        stats.insert_seconds += time.perf_counter() - tick
+        return split0, split1
+
+    def _timed_scan(self, piece, scan_args, stats: QueryStats) -> np.ndarray:
+        tick = time.perf_counter()
+        result = self._column.scan_positions(piece[0], piece[1], **scan_args)
+        stats.scan_seconds += time.perf_counter() - tick
+        sides = (scan_args.get("low") is not None) + (
+            scan_args.get("high") is not None
+        )
+        stats.comparisons += sides * (piece[1] - piece[0])
+        return result
+
+    # -- introspection ----------------------------------------------------------
+
+    def piece_boundaries(self) -> List[int]:
+        """Sorted crack positions, including the column ends.
+
+        Consecutive entries delimit the current pieces; the leakage
+        analysis of Section 4.1 works from this structure.
+        """
+        positions = sorted({node.position for node in self._tree.in_order()})
+        return [0] + positions + [len(self._column)]
+
+    def check_invariants(self) -> None:
+        """Assert every indexed crack still partitions the column.
+
+        Raises:
+            AssertionError: on any violated cracking invariant.
+        """
+        self._tree.check_invariants()
+        values = self._column.values
+        for node in self._tree.in_order():
+            bound, inclusive = node.key
+            left = values[: node.position]
+            right = values[node.position:]
+            if inclusive:
+                assert np.all(left <= bound), "left side violates <= bound"
+                assert np.all(right > bound), "right side violates > bound"
+            else:
+                assert np.all(left < bound), "left side violates < bound"
+                assert np.all(right >= bound), "right side violates >= bound"

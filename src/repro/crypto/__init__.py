@@ -1,0 +1,46 @@
+"""The paper's indexable encryption scheme (Sections 3 and 4.2).
+
+Public surface:
+
+* :class:`repro.crypto.key.SecretKey` and
+  :func:`repro.crypto.key.generate_key` — the total encryption key of
+  Section 3.4 (unit direction ``u``, payload positions, unimodular
+  matrix ``M``).
+* :class:`repro.crypto.scheme.Encryptor` — the two complementary
+  encryption modes ``Ev`` (values) and ``Eb`` (bounds), decryption, and
+  the ambiguity layer of Section 4.2.
+* :func:`repro.crypto.scheme.compare` — the server-side scalar-product
+  comparison ``sign(Eb(b) . Ev(v)) == sign(v - b)``.
+* :mod:`repro.crypto.attacks` — executable versions of the Section 3.5
+  attack sketches.
+"""
+
+from repro.crypto.ciphertext import (
+    AmbiguousCiphertext,
+    BoundCiphertext,
+    ValueCiphertext,
+)
+from repro.crypto.key import SecretKey, generate_key
+from repro.crypto.opes import OpesCipher, generate_opes_key
+from repro.crypto.scheme import (
+    DecryptedRow,
+    Encryptor,
+    compare,
+    generate_steerable_key,
+    probe_steerable,
+)
+
+__all__ = [
+    "AmbiguousCiphertext",
+    "BoundCiphertext",
+    "ValueCiphertext",
+    "SecretKey",
+    "generate_key",
+    "OpesCipher",
+    "generate_opes_key",
+    "DecryptedRow",
+    "Encryptor",
+    "compare",
+    "generate_steerable_key",
+    "probe_steerable",
+]

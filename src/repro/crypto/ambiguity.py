@@ -1,0 +1,78 @@
+"""Formal (Table 1) derivation of the ambiguity offset theta.
+
+:class:`repro.crypto.scheme.Encryptor` computes theta through the
+precomputed ambiguity row ``r`` — an O(l) contraction.  This module
+re-derives theta literally along the paper's Section 4.2 algebra using
+the structured matrices of Table 1::
+
+    theta = (Ev . e1  -  Ev^T S W . u) / (e_l^T W . u),
+    W = M^T @ Pc_{l,(l-2)} @ E_{l,(l-2)}
+
+for the suffix variant ``(Ev; theta)``, and the mirrored expression for
+the prefix variant.  It exists to cross-validate the fast path — the
+faithfulness tests assert both derivations agree exactly — and to make
+the paper's matrix formulation executable for readers.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.crypto.ciphertext import ValueCiphertext
+from repro.crypto.key import SecretKey
+from repro.linalg.intmat import mat_mul, mat_transpose, mat_vec
+from repro.linalg.structured import (
+    complementary_permutation_matrix,
+    expansion_matrix,
+    shift_matrix,
+)
+from repro.linalg.vectors import dot
+
+
+def noise_contraction_matrix(key: SecretKey):
+    """Return ``W @ u`` where ``W = M^T Pc E`` (paper, Section 4.2).
+
+    ``W`` maps the secret direction ``u`` from noise-coordinate space
+    into ciphertext space such that ``x . (W u) == u . noise(M x)`` for
+    any ciphertext-space ``x``; it therefore equals the key's
+    precomputed ``ambiguity_row``, which the faithfulness tests verify.
+    """
+    length = key.length
+    pc = complementary_permutation_matrix(length, key.payload_positions)
+    expand = expansion_matrix(length, length - 2)
+    w = mat_mul(mat_mul(mat_transpose(key.matrix), pc), expand)
+    return mat_vec(w, key.u)
+
+
+def theta_suffix_variant(key: SecretKey, real: ValueCiphertext) -> Fraction:
+    """Theta for the ``(Ev; theta)`` layout, via the paper's formula.
+
+    The fake row is ``S^T Ev + (theta - Ev . e1) e_l`` (cyclic up-shift
+    with theta replacing the wrapped-around first component); requiring
+    its pre-image noise to be orthogonal to ``u`` gives
+
+        theta = (Ev . e1) - (Ev^T S (W u)) / (e_l^T (W u)).
+    """
+    ev = real.numerators
+    length = key.length
+    wu = noise_contraction_matrix(key)
+    shift = shift_matrix(length)
+    # Ev^T S == (S^T Ev)^T: the cyclic up-shift (Ev[1], ..., Ev[l-1], Ev[0]).
+    ev_t_s = mat_vec(mat_transpose(shift), ev)
+    # The up-shift wraps Ev[0] into the last slot; the paper's formula
+    # subtracts it back out (the fake row carries theta there instead).
+    numerator = dot(ev_t_s, wu) - ev[0] * wu[-1]
+    return Fraction(-numerator, wu[-1])
+
+
+def theta_prefix_variant(key: SecretKey, real: ValueCiphertext) -> Fraction:
+    """Theta for the ``(theta; Ev)`` layout (mirrored derivation).
+
+    The fake row is ``(theta, Ev[0], ..., Ev[l-2])``; orthogonality of
+    its pre-image noise to ``u`` gives
+    ``theta = -(sum_{i>=1} (W u)[i] * Ev[i-1]) / (W u)[0]``.
+    """
+    ev = real.numerators
+    wu = noise_contraction_matrix(key)
+    shifted = sum(wu[i] * ev[i - 1] for i in range(1, key.length))
+    return Fraction(-shifted, wu[0])

@@ -1,0 +1,133 @@
+"""Ciphertext containers.
+
+Three ciphertext kinds exist in the system:
+
+* :class:`ValueCiphertext` — an attribute value encrypted in mode
+  ``Ev`` (paper, Section 3.3): an integer vector of length ``l``
+  together with a positive common denominator (1 except for rows
+  derived from ambiguity vectors).  These are the rows the server
+  stores, cracks, and returns.
+* :class:`BoundCiphertext` — a query bound encrypted in mode ``Eb``;
+  always integral.  Comparable against value ciphertexts only.
+* :class:`AmbiguousCiphertext` — the length-``(l+1)`` vector of
+  Section 4.2, whose ``l``-prefix and ``l``-suffix are *both* valid
+  value rows; exactly one (secret) branch is real.
+
+All containers are immutable.  Because denominators are positive, the
+sign of a scalar product over the numerators equals the sign of the
+exact rational product — the only fact cracking relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.linalg.vectors import IntVector, dot
+
+
+def _vector_size_bytes(components) -> int:
+    """Wire-size estimate of an integer vector: minimal two's-complement
+    bytes per component plus a one-byte length prefix each."""
+    return sum(
+        (abs(int(x)).bit_length() + 8) // 8 + 1 for x in components
+    )
+
+
+@dataclass(frozen=True)
+class ValueCiphertext:
+    """An ``Ev``-mode row: integer numerators over a positive denominator."""
+
+    numerators: IntVector
+    denominator: int = 1
+
+    def __post_init__(self) -> None:
+        if self.denominator <= 0:
+            raise ValueError("ciphertext denominator must be positive")
+
+    @property
+    def length(self) -> int:
+        """Ciphertext length ``l``."""
+        return len(self.numerators)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire-size estimate (numerators + denominator)."""
+        return _vector_size_bytes(self.numerators) + _vector_size_bytes(
+            (self.denominator,)
+        )
+
+
+@dataclass(frozen=True)
+class BoundCiphertext:
+    """An ``Eb``-mode query bound; integral by construction."""
+
+    vector: IntVector
+
+    @property
+    def length(self) -> int:
+        """Ciphertext length ``l``."""
+        return len(self.vector)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire-size estimate."""
+        return _vector_size_bytes(self.vector)
+
+    def product_sign(self, value: ValueCiphertext) -> int:
+        """Sign of ``Eb(b) . Ev(v)``, i.e. of ``xi(v) * (v - b)``.
+
+        Returns -1, 0, or +1.  This is the only comparison primitive
+        the server possesses (paper requirement 1-3): it never reveals
+        the magnitude of ``v - b`` (Section 3.2) and cannot be applied
+        between two values or two bounds.
+        """
+        product = dot(self.vector, value.numerators)
+        if product > 0:
+            return 1
+        if product < 0:
+            return -1
+        return 0
+
+
+@dataclass(frozen=True)
+class AmbiguousCiphertext:
+    """The length-``(l+1)`` two-interpretation vector of Section 4.2.
+
+    The server derives both the prefix and the suffix interpretation and
+    manages each as an independent row; only the key holder can tell
+    which one is real (the branch whose decrypted multiplier ``xi`` is
+    an odd positive integer).
+    """
+
+    numerators: IntVector
+    denominator: int
+
+    def __post_init__(self) -> None:
+        if self.denominator <= 0:
+            raise ValueError("ciphertext denominator must be positive")
+        if len(self.numerators) < 4:
+            raise ValueError("ambiguous ciphertexts have length l + 1 >= 4")
+
+    @property
+    def length(self) -> int:
+        """Underlying ciphertext length ``l`` (stored vector is ``l + 1``)."""
+        return len(self.numerators) - 1
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire-size estimate (numerators + denominator)."""
+        return _vector_size_bytes(self.numerators) + _vector_size_bytes(
+            (self.denominator,)
+        )
+
+    def interpretations(self) -> Tuple[ValueCiphertext, ValueCiphertext]:
+        """Return the two possible rows: ``(l-prefix, l-suffix)``.
+
+        Both pass the scheme's structural checks; the server cannot
+        distinguish them (the owner randomises which end carries the
+        real row at encryption time).
+        """
+        prefix = ValueCiphertext(self.numerators[:-1], self.denominator)
+        suffix = ValueCiphertext(self.numerators[1:], self.denominator)
+        return prefix, suffix

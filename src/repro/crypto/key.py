@@ -1,0 +1,186 @@
+"""The total encryption key (paper, Section 3.4).
+
+A key consists of:
+
+1. the secret direction ``u`` (the paper's unit vector — only the
+   direction matters for orthogonality, so we keep it integral for
+   exact arithmetic),
+2. the secret payload positions occupied by ``(xi*v, -xi)`` in value
+   vectors and ``(1, b)`` in bound vectors,
+3. the invertible matrix ``M`` (here: unimodular, so ``M^-1`` is also
+   an integer matrix and ciphertexts stay integral),
+4. the ciphertext length ``l`` chosen by the data owner (Section 3.5:
+   security against known-plaintext attacks grows with ``l``).
+
+The per-plaintext secrets — the noise orientation ``u_perp(v)``, the
+multipliers ``xi(v)`` and ``lambda(b)`` — are drawn at encryption time
+by :class:`repro.crypto.scheme.Encryptor` and never stored.
+
+The key also precomputes the *ambiguity row vector* ``r`` with
+``r . x == u . noise(M @ x)`` for any ciphertext-space vector ``x``;
+the fake-branch offset theta of Section 4.2 is a ratio of two ``r``
+products, so keeping ``r`` around makes ambiguity encryption O(l)
+instead of O(l^2).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.errors import KeyGenerationError
+from repro.linalg.intmat import IntMatrix, mat_mul, mat_vec, mat_transpose, random_unimodular
+from repro.linalg.vectors import IntVector, dot, is_zero
+
+#: Smallest ciphertext length that leaves room for one noise slot.
+MIN_LENGTH = 3
+
+#: Paper default (Section 5: "we encrypt data with default key size l = 4").
+DEFAULT_LENGTH = 4
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """Immutable secret key; known to data owner and trusted clients only.
+
+    Attributes:
+        length: ciphertext length ``l`` (>= 3).
+        payload_positions: the two secret positions ``(p0, p1)`` holding
+            the payload contents (``xi*v`` / ``1`` at ``p0`` and
+            ``-xi`` / ``b`` at ``p1``).
+        noise_positions: the remaining ``l - 2`` positions, ascending.
+        u: secret direction in ``Z^(l-2)``; bound noise is collinear to
+            ``u``, value noise orthogonal to it.
+        matrix: the secret unimodular matrix ``M``.
+        matrix_inverse: ``M^-1`` (integral because ``det M = +/-1``).
+        ambiguity_row: precomputed row ``r`` with
+            ``r . x == u . noise(M @ x)``; both ``r[0]`` and ``r[-1]``
+            are guaranteed nonzero so that either ambiguity variant
+            (theta as prefix or suffix) is well defined.
+    """
+
+    length: int
+    payload_positions: Tuple[int, int]
+    noise_positions: Tuple[int, ...]
+    u: IntVector
+    matrix: IntMatrix
+    matrix_inverse: IntMatrix
+    ambiguity_row: IntVector = field(repr=False)
+
+    def __post_init__(self) -> None:
+        if self.length < MIN_LENGTH:
+            raise KeyGenerationError(
+                "ciphertext length must be >= %d, got %d" % (MIN_LENGTH, self.length)
+            )
+        p0, p1 = self.payload_positions
+        if p0 == p1 or not (0 <= p0 < self.length and 0 <= p1 < self.length):
+            raise KeyGenerationError("payload positions must be distinct and in range")
+        expected_noise = tuple(
+            i for i in range(self.length) if i not in (p0, p1)
+        )
+        if tuple(self.noise_positions) != expected_noise:
+            raise KeyGenerationError("noise positions inconsistent with payload positions")
+        if len(self.u) != self.length - 2 or is_zero(self.u):
+            raise KeyGenerationError("u must be a nonzero vector of length l - 2")
+
+    # -- helpers used by the scheme ------------------------------------
+
+    def assemble(self, payload0: int, payload1: int, noise: IntVector) -> IntVector:
+        """Place payload and noise contents at their secret positions."""
+        if len(noise) != len(self.noise_positions):
+            raise ValueError("noise subvector has wrong length")
+        x = [0] * self.length
+        p0, p1 = self.payload_positions
+        x[p0] = payload0
+        x[p1] = payload1
+        for pos, value in zip(self.noise_positions, noise):
+            x[pos] = value
+        return tuple(x)
+
+    def noise_projection(self, x: IntVector) -> IntVector:
+        """Extract the noise-slot contents of a ciphertext-space vector."""
+        return tuple(x[pos] for pos in self.noise_positions)
+
+    def payload_projection(self, x: IntVector) -> Tuple[int, int]:
+        """Extract the payload-slot contents ``(x[p0], x[p1])``."""
+        p0, p1 = self.payload_positions
+        return x[p0], x[p1]
+
+
+def generate_key(
+    length: int = DEFAULT_LENGTH,
+    seed: int = None,
+    rng: random.Random = None,
+    u_magnitude: int = 1 << 12,
+    max_attempts: int = 256,
+) -> SecretKey:
+    """Generate a fresh secret key.
+
+    Retries matrix / direction sampling until the ambiguity row ``r``
+    has nonzero first and last components, which the fake-branch theta
+    of Section 4.2 divides by (a zero there would make one ambiguity
+    variant degenerate).
+
+    Args:
+        length: ciphertext length ``l`` (paper default 4; Figure 12
+            sweeps 4..64).
+        seed: convenience seed; ignored when ``rng`` is given.
+        rng: caller-owned randomness source.
+        u_magnitude: components of ``u`` are drawn from
+            ``[-u_magnitude, u_magnitude]``.
+        max_attempts: resampling budget.
+
+    Raises:
+        KeyGenerationError: if no admissible key is found within the
+            attempt budget (practically impossible for random keys).
+    """
+    if rng is None:
+        rng = random.Random(seed)
+    if length < MIN_LENGTH:
+        raise KeyGenerationError(
+            "ciphertext length must be >= %d, got %d" % (MIN_LENGTH, length)
+        )
+    for _ in range(max_attempts):
+        p0, p1 = rng.sample(range(length), 2)
+        noise_positions = tuple(i for i in range(length) if i not in (p0, p1))
+        u = tuple(
+            rng.randint(-u_magnitude, u_magnitude) for _ in range(length - 2)
+        )
+        if is_zero(u):
+            continue
+        matrix, matrix_inverse = random_unimodular(length, rng)
+        ambiguity_row = _ambiguity_row(matrix, noise_positions, u)
+        if ambiguity_row[0] == 0 or ambiguity_row[-1] == 0:
+            continue
+        return SecretKey(
+            length=length,
+            payload_positions=(p0, p1),
+            noise_positions=noise_positions,
+            u=u,
+            matrix=matrix,
+            matrix_inverse=matrix_inverse,
+            ambiguity_row=ambiguity_row,
+        )
+    raise KeyGenerationError(
+        "could not generate an ambiguity-compatible key in %d attempts" % max_attempts
+    )
+
+
+def _ambiguity_row(
+    matrix: IntMatrix, noise_positions: Tuple[int, ...], u: IntVector
+) -> IntVector:
+    """Precompute ``r`` with ``r . x == u . noise(M @ x)``.
+
+    ``noise(y)`` selects the noise-position components of ``y``; hence
+    ``r = u^T @ N @ M`` where ``N`` is the noise-selection matrix.  In
+    the paper's Table 1 algebra this is ``(M^T @ Pc @ E @ u)^T`` — the
+    ``W`` matrix of Section 4.2 contracted with ``u``.
+    """
+    length = len(matrix)
+    r = [0] * length
+    for u_component, pos in zip(u, noise_positions):
+        row = matrix[pos]
+        for j in range(length):
+            r[j] += u_component * row[j]
+    return tuple(r)

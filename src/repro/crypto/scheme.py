@@ -1,0 +1,636 @@
+"""Encryption, decryption, and comparison (paper, Sections 3 and 4.2).
+
+The scheme composes three obscurement layers:
+
+1. *Noise addition* (3.1) — payloads ``(xi*v, -xi)`` / ``(1, b)`` are
+   embedded at secret positions of a length-``l`` vector whose
+   remaining slots carry noise: orthogonal to the secret direction
+   ``u`` for values, collinear to ``u`` for bounds, so noise terms
+   cancel in every bound-value scalar product.
+2. *Scalar multiplication* (3.2) — a random positive multiplier
+   ``xi(v)`` obscures the norm of ``v - b``; only the sign survives.
+3. *Matrix multiplication* (3.3) — values are multiplied by ``M^-1``,
+   bounds by ``M^T``, so products telescope:
+   ``Eb(b) . Ev(v) = xi(v) * (v - b)``.
+
+The ambiguity layer (4.2) optionally extends each value ciphertext to
+length ``l + 1`` such that both the ``l``-prefix and the ``l``-suffix
+are structurally valid rows; the real branch is identified only by the
+key holder through the odd-integer convention on ``xi``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Optional, Tuple
+
+from repro.crypto.ciphertext import (
+    AmbiguousCiphertext,
+    BoundCiphertext,
+    ValueCiphertext,
+)
+from repro.crypto.key import SecretKey, generate_key
+from repro.errors import AmbiguityError, DecryptionError, EncryptionError
+from repro.linalg.intmat import mat_vec, mat_transpose
+from repro.linalg.solve import solve_affine
+from repro.linalg.vectors import IntVector, dot, orthogonal_vector, scale
+
+
+def compare(bound: BoundCiphertext, value: ValueCiphertext) -> int:
+    """Server-side comparison: sign of ``v - b`` (times ``sign(xi)``).
+
+    For rows produced by :meth:`Encryptor.encrypt_value` the multiplier
+    is positive, so the result is exactly ``sign(v - b)``.  Returns
+    -1, 0, or +1.
+    """
+    return bound.product_sign(value)
+
+
+@dataclass(frozen=True)
+class DecryptedRow:
+    """Outcome of decrypting one server row.
+
+    Attributes:
+        value: the recovered plaintext, or None for a fake (ambiguity)
+            row.
+        multiplier: the recovered ``xi`` as an exact rational; real rows
+            always carry an odd positive integer.
+        is_real: True when the odd-integer convention identifies the
+            row as a real value (Section 4.2).
+    """
+
+    value: Optional[int]
+    multiplier: Fraction
+    is_real: bool
+
+
+class Encryptor:
+    """Key-holder operations: encrypt values/bounds, decrypt rows.
+
+    Instances are owned by the data owner and trusted clients; the
+    server never sees one.  All randomness flows through the instance's
+    ``rng`` so experiments are reproducible.
+
+    Args:
+        key: the secret key.
+        rng: randomness source; a fresh ``random.Random(seed)`` is
+            created when only ``seed`` is given.
+        seed: convenience seed, ignored when ``rng`` is passed.
+        multiplier_bound: ``xi`` is drawn odd from ``[1, multiplier_bound]``
+            and ``lambda`` nonzero from ``[-multiplier_bound, multiplier_bound]``.
+        noise_magnitude: magnitude of the raw noise samples.
+    """
+
+    def __init__(
+        self,
+        key: SecretKey,
+        rng: random.Random = None,
+        seed: int = None,
+        multiplier_bound: int = 1 << 16,
+        noise_magnitude: int = 1 << 16,
+    ) -> None:
+        if multiplier_bound < 1:
+            raise EncryptionError("multiplier bound must be >= 1")
+        self.key = key
+        self._rng = rng if rng is not None else random.Random(seed)
+        self._multiplier_bound = multiplier_bound
+        self._noise_magnitude = noise_magnitude
+        self._matrix_t = mat_transpose(key.matrix)
+        #: Count of ambiguous encryptions that fell back to an
+        #: unsteered counterfeit (see generate_steerable_key).
+        self.steering_fallbacks = 0
+
+    # -- mode Ev: values ------------------------------------------------
+
+    def encrypt_value(self, value: int) -> ValueCiphertext:
+        """Encrypt an attribute value in mode ``Ev`` (Section 3.3).
+
+        ``Ev(v) = M^-1 @ (xi * (payload(v) + noise_perp))`` with the
+        multiplier ``xi`` odd and positive (the oddness carries the
+        real/fake convention of Section 4.2 even for rows that are
+        never wrapped in ambiguity).
+        """
+        value = int(value)  # exact big-int arithmetic, never numpy scalars
+        xi = self._draw_odd_multiplier()
+        noise = orthogonal_vector(
+            self.key.u, self._rng, magnitude=self._noise_magnitude
+        )
+        pre_image = self.key.assemble(
+            xi * value, -xi, scale(noise, xi)
+        )
+        return ValueCiphertext(mat_vec(self.key.matrix_inverse, pre_image))
+
+    def encrypt_value_ambiguous(
+        self,
+        value: int,
+        fake_domain: Tuple[int, int] = None,
+        fake_value: int = None,
+        max_attempts: int = 64,
+    ) -> AmbiguousCiphertext:
+        """Encrypt with the deliberate-error layer of Section 4.2.
+
+        Produces a length-``(l+1)`` vector whose prefix and suffix are
+        both structurally valid rows; the variant (theta appended as
+        prefix or suffix) is drawn uniformly so the server cannot learn
+        which end is real.  The owner verifies that only the real
+        branch decrypts to an odd positive integer multiplier and
+        resamples otherwise, exactly as the paper prescribes ("the fact
+        that only one decryption attempt delivers an odd integer ... is
+        verified by the data owner during encryption").
+
+        The fake branch can be *steered*: the paper likens the result
+        to "adding counterfeit records in our database", and its
+        client-side evaluation (Figure 13a) shows fakes qualifying for
+        range queries about as often as real rows — i.e. counterfeit
+        pseudo-values distributed like the data.  Passing
+        ``fake_domain`` (half-open) draws a counterfeit uniformly from
+        it and uses the owner's free encryption parameters (noise
+        orientation and multipliers) to make the fake branch decode to
+        exactly that counterfeit, with a positive (so
+        comparison-consistent) but never odd-integral multiplier;
+        ``fake_value`` pins the counterfeit instead.  With neither, the
+        fake branch is left unsteered (structurally valid but decoding
+        to an arbitrary huge pseudo-value, which no realistic range
+        query ever matches).  Steering requires ``l >= 4`` — at
+        ``l = 3`` value noise is identically zero and there is no free
+        parameter to steer with.
+
+        Raises:
+            AmbiguityError: when no admissible ciphertext is found
+                within ``max_attempts`` (or steering is requested at
+                ``l = 3``).
+        """
+        value = int(value)  # exact big-int arithmetic, never numpy scalars
+        if fake_value is not None or fake_domain is not None:
+            if fake_value is not None:
+                fake_value = int(fake_value)
+            if fake_domain is not None:
+                fake_domain = (int(fake_domain[0]), int(fake_domain[1]))
+            return self._encrypt_ambiguous_steered(
+                value, fake_domain, fake_value, max_attempts
+            )
+        for _ in range(max_attempts):
+            real = self.encrypt_value(value)
+            theta_as_suffix = bool(self._rng.getrandbits(1))
+            ambiguous = self._attach_theta(real, theta_as_suffix)
+            prefix, suffix = ambiguous.interpretations()
+            real_row = prefix if theta_as_suffix else suffix
+            fake_row = suffix if theta_as_suffix else prefix
+            if not self.decrypt_row(real_row).is_real:
+                raise AmbiguityError("real branch failed the odd-xi check")
+            if not self.decrypt_row(fake_row).is_real:
+                return ambiguous
+        raise AmbiguityError(
+            "fake branch kept decrypting like a real row after %d attempts"
+            % max_attempts
+        )
+
+    def _encrypt_ambiguous_steered(
+        self,
+        value: int,
+        fake_domain: Tuple[int, int],
+        fake_value: int,
+        max_attempts: int,
+    ) -> AmbiguousCiphertext:
+        """Two-interpretation ciphertext with a chosen counterfeit.
+
+        Solves, exactly over the rationals, for a length-``(l+1)``
+        vector ``a`` such that (with ``ro``/``fo`` the real/fake window
+        offsets and ``r`` the key's ambiguity row):
+
+        1. ``M @ a[ro:ro+l]`` carries payload ``(xi*v, -xi)``  (real);
+        2. ``r . a[ro:ro+l] = 0``   (real noise orthogonal to ``u``);
+        3. ``r . a[fo:fo+l] = 0``   (fake noise orthogonal — the theta
+           condition of Section 4.2);
+        4. ``M @ a[fo:fo+l]`` has payload ratio ``fake_value`` (the
+           counterfeit).
+
+        Free solution dimensions (``l > 4``) are randomised; attempts
+        are rejected until the fake multiplier is positive (so the
+        counterfeit row compares consistently, like a genuinely
+        inserted record) and fails the odd-integer convention.
+        """
+        if self.key.length < 4:
+            raise AmbiguityError(
+                "steered counterfeits need ciphertext length >= 4"
+            )
+        strict = fake_value is not None
+        if fake_value is not None:
+            fake_domain = (fake_value, fake_value + 1)
+        for _ in range(max_attempts):
+            first_variant = bool(self._rng.getrandbits(1))
+            for theta_as_suffix in (first_variant, not first_variant):
+                ambiguous = self._solve_steered(
+                    value, fake_domain, theta_as_suffix
+                )
+                if ambiguous is None:
+                    continue
+                prefix, suffix = ambiguous.interpretations()
+                real_row = prefix if theta_as_suffix else suffix
+                fake_row = suffix if theta_as_suffix else prefix
+                real = self.decrypt_row(real_row)
+                fake = self.decrypt_row(fake_row)
+                if not real.is_real or real.value != value:
+                    continue
+                if fake.is_real or fake.multiplier <= 0:
+                    continue
+                return ambiguous
+        if strict:
+            raise AmbiguityError(
+                "no admissible steered ciphertext in %d attempts" % max_attempts
+            )
+        # The achievable counterfeit range is key-dependent (see
+        # generate_steerable_key); for keys that cannot reach this
+        # domain, degrade to the unsteered construction rather than
+        # fail — the row stays two-faced, the counterfeit just never
+        # matches realistic queries.
+        self.steering_fallbacks += 1
+        return self.encrypt_value_ambiguous(value, max_attempts=max_attempts)
+
+    def _solve_steered(
+        self,
+        value: int,
+        fake_domain: Tuple[int, int],
+        theta_as_suffix: bool,
+    ) -> Optional[AmbiguousCiphertext]:
+        """One steering attempt; None when this draw is inadmissible.
+
+        The *structural* constraints on the ambiguity vector ``a`` —
+        the real window's payload ratio and both windows' noise
+        orthogonality — are homogeneous, leaving a solution subspace of
+        dimension ``l - 2 >= 2``.  A random 2-dimensional pencil
+        ``a(t) = b1 + t * b2`` inside it is drawn; along the pencil the
+        real and fake multipliers are linear in ``t`` and the fake
+        pseudo-value is a fractional-linear function of ``t``, so
+
+        * sampling a counterfeit target uniformly from the domain and
+          inverting the fractional-linear map yields the unique ``t``
+          realising it (accepted when both multipliers then share a
+          sign — the global flip makes them positive), and
+        * when uniform targets keep failing, the exactly-computed
+          feasible ``t`` region (two quadratic sign conditions with
+          rational roots) provides a fallback point whose counterfeit
+          still lands inside the domain.
+
+        The surviving vector is flipped positive, then scaled so the
+        real multiplier is a random odd integer — the scale freedom is
+        exactly the paper's ``xi(v)``.
+        """
+        length = self.key.length
+        p0, p1 = self.key.payload_positions
+        matrix = self.key.matrix
+        r = self.key.ambiguity_row
+        real_offset = 0 if theta_as_suffix else 1
+        fake_offset = 1 - real_offset
+        unknowns = length + 1
+
+        def window_row(coeffs, offset: int) -> list:
+            row = [Fraction(0)] * unknowns
+            for j, c in enumerate(coeffs):
+                row[offset + j] += c
+            return row
+
+        real_payload0 = window_row(matrix[p0], real_offset)
+        real_payload1 = window_row(matrix[p1], real_offset)
+        coefficients = [
+            # payload0 + v * payload1 == 0: the real window decodes to v.
+            [a + value * b for a, b in zip(real_payload0, real_payload1)],
+            window_row(r, real_offset),
+            window_row(r, fake_offset),
+        ]
+        solution = solve_affine(coefficients, [Fraction(0)] * len(coefficients))
+        if solution is None:
+            return None
+        __, basis = solution
+        if len(basis) < 2:
+            return None
+        b1, b2 = self._random_pencil(basis)
+
+        def form(row) -> Tuple[Fraction, Fraction]:
+            """A linear functional of a(t) as (constant, slope) in t."""
+            return (
+                sum(m * x for m, x in zip(row, b1)),
+                sum(m * x for m, x in zip(row, b2)),
+            )
+
+        # mu_re(t) = p + q t, mu_fk(t) = c0 + c1 t, P0_fk(t) = a0 + a1 t.
+        p, q = form([-x for x in real_payload1])
+        c0, c1 = form([-x for x in window_row(matrix[p1], fake_offset)])
+        a0, a1 = form(window_row(matrix[p0], fake_offset))
+        t = self._pick_parameter(fake_domain, p, q, c0, c1, a0, a1)
+        if t is None:
+            return None
+        vector = [x + t * y for x, y in zip(b1, b2)]
+        real_multiplier = p + q * t
+        if real_multiplier == 0:
+            return None
+        if real_multiplier < 0:
+            vector = [-x for x in vector]
+            real_multiplier = -real_multiplier
+        # Scale so the real multiplier becomes a random odd integer.
+        scale_factor = Fraction(self._draw_odd_multiplier()) / real_multiplier
+        vector = [x * scale_factor for x in vector]
+        denominator = 1
+        for entry in vector:
+            denominator = denominator * entry.denominator // gcd(
+                denominator, entry.denominator
+            )
+        numerators = tuple(int(entry * denominator) for entry in vector)
+        if all(n == 0 for n in numerators):
+            return None
+        return AmbiguousCiphertext(numerators, denominator)
+
+    def _random_pencil(self, basis) -> Tuple[list, list]:
+        """Two random independent combinations of the nullspace basis."""
+        if len(basis) == 2:
+            return list(basis[0]), list(basis[1])
+        while True:
+            coeffs1 = [self._rng.randint(-8, 8) for _ in basis]
+            coeffs2 = [self._rng.randint(-8, 8) for _ in basis]
+            # Independence of the coefficient vectors implies
+            # independence of the combinations (basis is independent).
+            cross_ok = any(
+                coeffs1[i] * coeffs2[j] != coeffs1[j] * coeffs2[i]
+                for i in range(len(basis))
+                for j in range(i + 1, len(basis))
+            )
+            if not cross_ok:
+                continue
+            b1 = [
+                sum(c * row[k] for c, row in zip(coeffs1, basis))
+                for k in range(len(basis[0]))
+            ]
+            b2 = [
+                sum(c * row[k] for c, row in zip(coeffs2, basis))
+                for k in range(len(basis[0]))
+            ]
+            if any(b1) and any(b2):
+                return b1, b2
+
+    def _pick_parameter(
+        self,
+        fake_domain: Tuple[int, int],
+        p: Fraction,
+        q: Fraction,
+        c0: Fraction,
+        c1: Fraction,
+        a0: Fraction,
+        a1: Fraction,
+        uniform_tries: int = 12,
+    ) -> Optional[Fraction]:
+        """Find t with sign(mu_re) == sign(mu_fk) and counterfeit in domain.
+
+        Conditions on ``t``::
+
+            f(t) = (p + q t)(c0 + c1 t) > 0          (consistent fake)
+            g(t) = (P0 - lo*mu_fk)(P0 - hi*mu_fk) <= 0   (in-domain)
+
+        with ``P0 = a0 + a1 t`` and ``mu_fk = c0 + c1 t`` (the domain
+        condition is multiplied through by ``mu_fk^2``, so it is
+        sign-safe).  Uniform counterfeit targets are tried first (their
+        acceptance keeps the counterfeit distribution uniform over the
+        feasible part of the domain); the fallback tests the O(1)
+        rational candidate points defined by the roots of the four
+        linear factors.
+        """
+        domain_lo = Fraction(fake_domain[0])
+        domain_hi = Fraction(fake_domain[1] - 1)
+        if domain_hi < domain_lo:
+            domain_hi = domain_lo
+
+        def feasible(t: Fraction, strict_domain: bool = False) -> bool:
+            mu_re = p + q * t
+            mu_fk = c0 + c1 * t
+            if mu_re * mu_fk <= 0:
+                return False
+            payload0 = a0 + a1 * t
+            lower = payload0 - domain_lo * mu_fk
+            upper = payload0 - domain_hi * mu_fk
+            return lower * upper <= 0
+
+        # Accept-reject on uniform integer counterfeits: invert the
+        # fractional-linear map c = P0 / mu_fk at the target.
+        span = fake_domain[1] - fake_domain[0]
+        for _ in range(uniform_tries):
+            target = fake_domain[0] + self._rng.randrange(max(1, span))
+            denominator = a1 - target * c1
+            if denominator == 0:
+                continue
+            t = Fraction(target * c0 - a0, denominator)
+            if (p + q * t) * (c0 + c1 * t) > 0:
+                return t
+        # Fallback: candidate points around the roots of all factors.
+        roots = []
+        for constant, slope in (
+            (p, q),
+            (c0, c1),
+            (a0 - domain_lo * c0, a1 - domain_lo * c1),
+            (a0 - domain_hi * c0, a1 - domain_hi * c1),
+        ):
+            if slope != 0:
+                roots.append(-constant / slope)
+        roots = sorted(set(roots))
+        candidates = []
+        if roots:
+            candidates.append(roots[0] - 1)
+            for left, right in zip(roots, roots[1:]):
+                candidates.append((left + right) / 2)
+            candidates.append(roots[-1] + 1)
+            candidates.extend(roots)
+        else:
+            candidates.append(Fraction(0))
+        feasible_points = [t for t in candidates if feasible(t)]
+        if not feasible_points:
+            return None
+        return feasible_points[self._rng.randrange(len(feasible_points))]
+
+    def _attach_theta(
+        self, real: ValueCiphertext, theta_as_suffix: bool
+    ) -> AmbiguousCiphertext:
+        """Compute theta and build the two-interpretation vector.
+
+        theta is the unique rational making the *other* end's noise
+        contents (after multiplying back by ``M``) orthogonal to ``u``:
+        with the precomputed row ``r`` (``r . x == u . noise(M @ x)``),
+
+        * suffix variant (``(Ev; theta)``): fake row is
+          ``(Ev[1:], theta)`` and ``theta = -(sum r[i] Ev[i+1]) / r[-1]``;
+        * prefix variant (``(theta; Ev)``): fake row is
+          ``(theta, Ev[:-1])`` and ``theta = -(sum r[i] Ev[i-1]) / r[0]``.
+        """
+        r = self.key.ambiguity_row
+        ev = real.numerators
+        length = self.key.length
+        if theta_as_suffix:
+            shifted = sum(r[i] * ev[i + 1] for i in range(length - 1))
+            theta = Fraction(-shifted, r[-1])
+        else:
+            shifted = sum(r[i] * ev[i - 1] for i in range(1, length))
+            theta = Fraction(-shifted, r[0])
+        denominator = theta.denominator
+        scaled = tuple(e * denominator for e in ev)
+        if theta_as_suffix:
+            numerators = scaled + (theta.numerator,)
+        else:
+            numerators = (theta.numerator,) + scaled
+        return AmbiguousCiphertext(numerators, denominator)
+
+    # -- mode Eb: bounds -------------------------------------------------
+
+    def encrypt_bound(self, bound: int) -> BoundCiphertext:
+        """Encrypt a query bound in mode ``Eb`` (Section 3.3).
+
+        ``Eb(b) = M^T @ (payload(1, b) + lambda * u)``.
+        """
+        bound = int(bound)  # exact big-int arithmetic, never numpy scalars
+        lam = self._draw_nonzero()
+        pre_image = self.key.assemble(1, bound, scale(self.key.u, lam))
+        return BoundCiphertext(mat_vec(self._matrix_t, pre_image))
+
+    # -- decryption -------------------------------------------------------
+
+    def decrypt_row(self, row: ValueCiphertext) -> DecryptedRow:
+        """Decrypt one server row, classifying real vs fake.
+
+        Multiplies back by ``M``, reads the payload slots, and applies
+        the odd-integer convention: a row is real iff the recovered
+        ``xi`` is an odd positive integer; then ``v = x[p0] / xi``.
+
+        A row is real iff (a) its noise contents are orthogonal to the
+        secret direction ``u`` — every honestly produced row (real or
+        counterfeit branch) satisfies this exactly, while tampering
+        with any ciphertext component breaks it with overwhelming
+        probability, so the check doubles as integrity protection —
+        (b) the recovered ``xi`` is an odd positive integer, and
+        (c) the payload decodes to an integral plaintext (the client
+        knows the column holds integers; a fake branch can, rarely,
+        mimic the odd-xi convention alone, and the owner additionally
+        resamples at encryption time whenever a fake passes all
+        checks).
+        """
+        pre_image = mat_vec(self.key.matrix, row.numerators)
+        payload0, payload1 = self.key.payload_projection(pre_image)
+        noise = self.key.noise_projection(pre_image)
+        if dot(self.key.u, noise) != 0:
+            return DecryptedRow(
+                value=None, multiplier=Fraction(0), is_real=False
+            )
+        multiplier = Fraction(-payload1, row.denominator)
+        xi_is_odd_integer = (
+            multiplier > 0
+            and multiplier.denominator == 1
+            and multiplier.numerator % 2 == 1
+        )
+        if not xi_is_odd_integer:
+            return DecryptedRow(value=None, multiplier=multiplier, is_real=False)
+        value = Fraction(payload0, -payload1)
+        if value.denominator != 1:
+            return DecryptedRow(value=None, multiplier=multiplier, is_real=False)
+        return DecryptedRow(value=int(value), multiplier=multiplier, is_real=True)
+
+    def decrypt_value(self, row: ValueCiphertext) -> int:
+        """Decrypt a row known to be real; raise on fakes.
+
+        Raises:
+            DecryptionError: if the row is a fake interpretation.
+        """
+        decrypted = self.decrypt_row(row)
+        if not decrypted.is_real:
+            raise DecryptionError("row is a fake (ambiguity) interpretation")
+        return decrypted.value
+
+    # -- analysis hooks (key-holder only) ----------------------------------
+
+    def pre_image(self, row: ValueCiphertext) -> Tuple[IntVector, int]:
+        """Return the pre-matrix noisy vector of a row (numerators, den).
+
+        This is what an adversary would observe *if* the matrix layer
+        were absent — the starting point of the Section 3.5 noise-layer
+        attack.  Requires the key; exposed for the attack simulations
+        and tests.
+        """
+        return mat_vec(self.key.matrix, row.numerators), row.denominator
+
+    def bound_pre_image(self, bound: BoundCiphertext) -> IntVector:
+        """Return the pre-matrix noisy vector of a bound ciphertext."""
+        inverse_t = mat_transpose(self.key.matrix_inverse)
+        return mat_vec(inverse_t, bound.vector)
+
+    # -- internals ---------------------------------------------------------
+
+    def _draw_odd_multiplier(self) -> int:
+        """Draw ``xi``: odd, positive, uniform over ``[1, bound]``."""
+        half = (self._multiplier_bound + 1) // 2
+        return 2 * self._rng.randrange(half) + 1
+
+    def _draw_nonzero(self) -> int:
+        """Draw ``lambda``: nonzero, uniform over ``[-bound, bound]``."""
+        bound = self._multiplier_bound
+        draw = self._rng.randint(1, 2 * bound)
+        return draw - bound - 1 if draw <= bound else draw - bound
+
+
+def probe_steerable(
+    key: SecretKey,
+    fake_domain: Tuple[int, int],
+    seed: int = None,
+    probes: int = 5,
+) -> bool:
+    """Whether counterfeits in ``fake_domain`` are reachable under ``key``.
+
+    The achievable counterfeit range of the ambiguity layer is a
+    key-dependent interval (the solution space of the structural
+    constraints is finite-dimensional — at ``l = 4`` it is a plane, and
+    the in-domain / sign-consistent conditions carve an interval out of
+    its projective line).  Empirically the property is binary per key:
+    either counterfeits across the whole domain are reachable or none
+    are.  This probes a handful of values spread over the domain.
+    """
+    if key.length < 4:
+        return False
+    encryptor = Encryptor(key, seed=seed)
+    low, high = fake_domain
+    span = max(1, high - low - 1)
+    probe_values = [low + span * i // max(1, probes - 1) for i in range(probes)]
+    for value in probe_values:
+        try:
+            encryptor._encrypt_ambiguous_steered(
+                value, fake_domain, None, max_attempts=4
+            )
+        except AmbiguityError:
+            return False
+        if encryptor.steering_fallbacks:
+            return False
+    return True
+
+
+def generate_steerable_key(
+    length: int,
+    fake_domain: Tuple[int, int],
+    seed: int = None,
+    max_attempts: int = 64,
+) -> SecretKey:
+    """Generate a key whose ambiguity layer can reach ``fake_domain``.
+
+    Data owners enabling ambiguity should pick their key with this
+    function (roughly 85% of random keys qualify, so the retry loop is
+    short): it resamples :func:`repro.crypto.key.generate_key` until
+    :func:`probe_steerable` passes.
+
+    Raises:
+        KeyGenerationError: if no steerable key is found within the
+            attempt budget.
+    """
+    from repro.errors import KeyGenerationError
+
+    base = 0 if seed is None else seed
+    for attempt in range(max_attempts):
+        key = generate_key(length=length, seed=base + attempt if seed is not None else None)
+        if probe_steerable(key, fake_domain, seed=base + attempt):
+            return key
+    raise KeyGenerationError(
+        "no steerable key found in %d attempts" % max_attempts
+    )

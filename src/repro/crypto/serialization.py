@@ -1,0 +1,229 @@
+"""Stable JSON-compatible serialization for keys and ciphertexts.
+
+In the database-as-a-service deployment the data owner generates the
+key once, shares it with trusted clients out of band, and ships
+ciphertexts to the server; all three artefacts therefore need a stable
+wire format.  We use plain JSON-compatible dictionaries (Python ints
+are arbitrary precision, and JSON numbers carry them losslessly through
+Python's ``json`` module), each tagged with a ``kind`` and a format
+``version`` so future layouts can coexist.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from repro.crypto.ciphertext import (
+    AmbiguousCiphertext,
+    BoundCiphertext,
+    ValueCiphertext,
+)
+from repro.crypto.key import SecretKey
+from repro.errors import SerializationError
+
+FORMAT_VERSION = 1
+
+Ciphertext = Union[ValueCiphertext, BoundCiphertext, AmbiguousCiphertext]
+
+
+def key_to_dict(key: SecretKey) -> Dict[str, Any]:
+    """Serialize a secret key to a JSON-compatible dictionary."""
+    return {
+        "kind": "secret_key",
+        "version": FORMAT_VERSION,
+        "length": key.length,
+        "payload_positions": list(key.payload_positions),
+        "u": list(key.u),
+        "matrix": [list(row) for row in key.matrix],
+        "matrix_inverse": [list(row) for row in key.matrix_inverse],
+        "ambiguity_row": list(key.ambiguity_row),
+    }
+
+
+def key_from_dict(data: Dict[str, Any]) -> SecretKey:
+    """Reconstruct a secret key; validates the tag and version."""
+    _check_kind(data, "secret_key")
+    try:
+        payload_positions = tuple(data["payload_positions"])
+        length = int(data["length"])
+        return SecretKey(
+            length=length,
+            payload_positions=payload_positions,
+            noise_positions=tuple(
+                i for i in range(length) if i not in payload_positions
+            ),
+            u=tuple(int(x) for x in data["u"]),
+            matrix=tuple(tuple(int(x) for x in row) for row in data["matrix"]),
+            matrix_inverse=tuple(
+                tuple(int(x) for x in row) for row in data["matrix_inverse"]
+            ),
+            ambiguity_row=tuple(int(x) for x in data["ambiguity_row"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed secret key payload: %s" % exc) from exc
+
+
+def ciphertext_to_dict(ciphertext: Ciphertext) -> Dict[str, Any]:
+    """Serialize any ciphertext kind to a JSON-compatible dictionary."""
+    if isinstance(ciphertext, ValueCiphertext):
+        return {
+            "kind": "value",
+            "version": FORMAT_VERSION,
+            "numerators": list(ciphertext.numerators),
+            "denominator": ciphertext.denominator,
+        }
+    if isinstance(ciphertext, BoundCiphertext):
+        return {
+            "kind": "bound",
+            "version": FORMAT_VERSION,
+            "vector": list(ciphertext.vector),
+        }
+    if isinstance(ciphertext, AmbiguousCiphertext):
+        return {
+            "kind": "ambiguous",
+            "version": FORMAT_VERSION,
+            "numerators": list(ciphertext.numerators),
+            "denominator": ciphertext.denominator,
+        }
+    raise SerializationError(
+        "cannot serialize object of type %s" % type(ciphertext).__name__
+    )
+
+
+def ciphertext_from_dict(data: Dict[str, Any]) -> Ciphertext:
+    """Reconstruct a ciphertext from its dictionary form."""
+    kind = data.get("kind")
+    try:
+        if kind == "value":
+            return ValueCiphertext(
+                tuple(int(x) for x in data["numerators"]),
+                int(data["denominator"]),
+            )
+        if kind == "bound":
+            return BoundCiphertext(tuple(int(x) for x in data["vector"]))
+        if kind == "ambiguous":
+            return AmbiguousCiphertext(
+                tuple(int(x) for x in data["numerators"]),
+                int(data["denominator"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed ciphertext payload: %s" % exc) from exc
+    raise SerializationError("unknown ciphertext kind: %r" % (kind,))
+
+
+def dumps(obj: Union[SecretKey, Ciphertext]) -> str:
+    """Serialize a key or ciphertext to a JSON string."""
+    if isinstance(obj, SecretKey):
+        return json.dumps(key_to_dict(obj), separators=(",", ":"))
+    return json.dumps(ciphertext_to_dict(obj), separators=(",", ":"))
+
+
+def loads(text: str) -> Union[SecretKey, Ciphertext]:
+    """Parse a JSON string produced by :func:`dumps`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError("invalid JSON: %s" % exc) from exc
+    if not isinstance(data, dict):
+        raise SerializationError("expected a JSON object")
+    if data.get("kind") == "secret_key":
+        return key_from_dict(data)
+    return ciphertext_from_dict(data)
+
+
+def _check_kind(data: Dict[str, Any], expected: str) -> None:
+    """Validate the ``kind`` tag and format version of a payload."""
+    if data.get("kind") != expected:
+        raise SerializationError(
+            "expected kind %r, got %r" % (expected, data.get("kind"))
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            "unsupported format version: %r" % (data.get("version"),)
+        )
+
+
+def query_to_dict(query) -> Dict[str, Any]:
+    """Serialize an :class:`repro.core.query.EncryptedQuery` message.
+
+    Completes the wire format: with this and :func:`response_to_dict`
+    the whole client/server protocol is JSON-transportable.
+    """
+    def bound_to_dict(bound):
+        if bound is None:
+            return None
+        return {
+            "eb": ciphertext_to_dict(bound.eb),
+            "ev": ciphertext_to_dict(bound.ev),
+        }
+
+    return {
+        "kind": "query",
+        "version": FORMAT_VERSION,
+        "low": bound_to_dict(query.low),
+        "high": bound_to_dict(query.high),
+        "low_inclusive": query.low_inclusive,
+        "high_inclusive": query.high_inclusive,
+        "pivots": [bound_to_dict(p) for p in query.pivots],
+    }
+
+
+def query_from_dict(data: Dict[str, Any]):
+    """Reconstruct an encrypted query message."""
+    from repro.core.query import EncryptedBound, EncryptedQuery
+
+    _check_kind(data, "query")
+
+    def bound_from_dict(payload):
+        if payload is None:
+            return None
+        eb = ciphertext_from_dict(payload["eb"])
+        ev = ciphertext_from_dict(payload["ev"])
+        if not isinstance(eb, BoundCiphertext) or not isinstance(
+            ev, ValueCiphertext
+        ):
+            raise SerializationError("malformed encrypted bound")
+        return EncryptedBound(eb=eb, ev=ev)
+
+    try:
+        return EncryptedQuery(
+            low=bound_from_dict(data["low"]),
+            high=bound_from_dict(data["high"]),
+            low_inclusive=bool(data["low_inclusive"]),
+            high_inclusive=bool(data["high_inclusive"]),
+            pivots=tuple(bound_from_dict(p) for p in data["pivots"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError("malformed query payload: %s" % exc) from exc
+
+
+def response_to_dict(response) -> Dict[str, Any]:
+    """Serialize a :class:`repro.core.server.ServerResponse`."""
+    return {
+        "kind": "response",
+        "version": FORMAT_VERSION,
+        "row_ids": [int(i) for i in response.row_ids],
+        "rows": [ciphertext_to_dict(row) for row in response.rows],
+    }
+
+
+def response_from_dict(data: Dict[str, Any]):
+    """Reconstruct a server response."""
+    import numpy as np
+
+    from repro.core.server import ServerResponse
+
+    _check_kind(data, "response")
+    try:
+        rows = [ciphertext_from_dict(row) for row in data["rows"]]
+        if not all(isinstance(row, ValueCiphertext) for row in rows):
+            raise SerializationError("responses carry value rows only")
+        return ServerResponse(
+            row_ids=np.array([int(i) for i in data["row_ids"]], dtype=np.int64),
+            rows=rows,
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(
+            "malformed response payload: %s" % exc
+        ) from exc

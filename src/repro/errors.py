@@ -1,0 +1,69 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish configuration mistakes, cryptographic
+failures, and index-state violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class KeyError_(ReproError):
+    """A secret key is malformed or cannot be generated.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`KeyError`.
+    """
+
+
+class KeyGenerationError(KeyError_):
+    """Key generation failed (e.g. a degenerate ambiguity denominator
+    persisted across the retry budget)."""
+
+
+class EncryptionError(ReproError):
+    """A plaintext could not be encrypted under the given key."""
+
+
+class DecryptionError(ReproError):
+    """A ciphertext does not decrypt to a consistent plaintext under the
+    given key (wrong key, corrupted ciphertext, or a fake branch)."""
+
+
+class AmbiguityError(ReproError):
+    """The ambiguity layer could not produce a valid two-branch
+    ciphertext (e.g. both branches decrypt to odd integers after the
+    retry budget)."""
+
+
+class SerializationError(ReproError):
+    """A key or ciphertext could not be serialized or deserialized."""
+
+
+class IndexStateError(ReproError):
+    """An adaptive index invariant was violated (internal error) or an
+    operation was attempted against an incompatible index state."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (e.g. inverted bounds or an unknown
+    predicate operator)."""
+
+
+class UpdateError(ReproError):
+    """An insert/delete could not be applied to the store."""
+
+
+class ProtocolError(ReproError):
+    """The client/server session protocol was violated (e.g. a response
+    for an unknown query id)."""
+
+
+class AttackError(ReproError):
+    """An attack simulation was configured inconsistently (not a failure
+    of the attack itself — unsuccessful attacks return results)."""

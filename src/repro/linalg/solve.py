@@ -1,0 +1,75 @@
+"""Exact rational linear system solving.
+
+Shared by the ambiguity layer (steering the fake branch of a
+two-interpretation ciphertext onto a chosen counterfeit value) and the
+known-plaintext attack simulations: Gauss-Jordan elimination over
+:class:`fractions.Fraction`, returning a particular solution together
+with a nullspace basis so callers can randomise over the solution
+space.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Sequence, Tuple
+
+FractionRow = List[Fraction]
+
+
+def solve_affine(
+    coefficients: Sequence[Sequence[Fraction]],
+    rhs: Sequence[Fraction],
+) -> Optional[Tuple[List[Fraction], List[List[Fraction]]]]:
+    """Solve ``A x = b`` exactly over the rationals.
+
+    Returns:
+        ``(particular, nullspace_basis)`` — any solution plus a basis
+        of the homogeneous solution space (empty when the solution is
+        unique) — or None when the system is inconsistent.
+    """
+    rows = [
+        [Fraction(c) for c in row] + [Fraction(b)]
+        for row, b in zip(coefficients, rhs)
+    ]
+    if len(rows) != len(rhs):
+        raise ValueError("coefficient rows and rhs lengths differ")
+    unknowns = len(rows[0]) - 1 if rows else 0
+    if any(len(row) != unknowns + 1 for row in rows):
+        raise ValueError("ragged coefficient matrix")
+
+    pivot_cols: List[int] = []
+    rank = 0
+    for col in range(unknowns):
+        pivot_row = next(
+            (r for r in range(rank, len(rows)) if rows[r][col] != 0), None
+        )
+        if pivot_row is None:
+            continue
+        rows[rank], rows[pivot_row] = rows[pivot_row], rows[rank]
+        pivot = rows[rank][col]
+        rows[rank] = [x / pivot for x in rows[rank]]
+        for r in range(len(rows)):
+            if r != rank and rows[r][col] != 0:
+                factor = rows[r][col]
+                rows[r] = [x - factor * y for x, y in zip(rows[r], rows[rank])]
+        pivot_cols.append(col)
+        rank += 1
+        if rank == len(rows):
+            break
+    for r in range(rank, len(rows)):
+        if all(x == 0 for x in rows[r][:unknowns]) and rows[r][unknowns] != 0:
+            return None
+
+    particular = [Fraction(0)] * unknowns
+    for r, col in enumerate(pivot_cols):
+        particular[col] = rows[r][unknowns]
+
+    free_cols = [c for c in range(unknowns) if c not in pivot_cols]
+    basis: List[List[Fraction]] = []
+    for free in free_cols:
+        vector = [Fraction(0)] * unknowns
+        vector[free] = Fraction(1)
+        for r, col in enumerate(pivot_cols):
+            vector[col] = -rows[r][free]
+        basis.append(vector)
+    return particular, basis

@@ -1,0 +1,101 @@
+"""Structured matrices from Table 1 of the paper.
+
+The ambiguity layer (paper, Section 4.2) expresses noise embedding with
+four matrix families:
+
+* ``E_nm``    — *expansion*: extends a length-``m`` vector with ``n - m``
+  zeros (an ``n x m`` matrix with the identity on top).
+* ``P_nm``    — *permutation*: shuffles the payload contents of an
+  extended vector into the secret payload positions.
+* ``Pc_nm``   — *complementary permutation*: shuffles the noise contents
+  into the complementary (noise) positions; ``P`` and ``Pc`` have no
+  permutation intersections: ``P @ Pc^T == 0``.
+* ``S`` / ``S^T`` — *cyclic shift*: moves vector components down / up by
+  one position (used to express the fake-branch suffix).
+
+These are only used at key-generation and encryption time; the hot
+query path works on the final flat integer vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.linalg.intmat import IntMatrix, mat_vec
+from repro.linalg.vectors import IntVector
+
+
+def expansion_matrix(n: int, m: int) -> IntMatrix:
+    """Return the ``n x m`` expansion matrix ``E_nm`` (identity over zeros).
+
+    ``E_nm @ x`` extends the length-``m`` vector ``x`` with ``n - m``
+    trailing zeros.
+    """
+    if not 0 <= m <= n:
+        raise ValueError("expansion requires 0 <= m <= n")
+    return tuple(
+        tuple(1 if i == j and i < m else 0 for j in range(m)) for i in range(n)
+    )
+
+
+def permutation_matrix(n: int, targets: Sequence[int]) -> IntMatrix:
+    """Return the ``n x n`` matrix placing coordinate ``k`` at ``targets[k]``.
+
+    Only the first ``len(targets)`` input coordinates are routed; the
+    remaining rows are zero, matching the paper's convention that "only
+    the first m rows [of ``P_nm``, after transposition of viewpoint]
+    have nonzero contents".
+
+    Args:
+        n: output dimension.
+        targets: pairwise-distinct output positions, one per routed
+            input coordinate.
+    """
+    if len(set(targets)) != len(targets):
+        raise ValueError("target positions must be pairwise distinct")
+    if any(not 0 <= t < n for t in targets):
+        raise ValueError("target positions out of range")
+    rows = [[0] * n for _ in range(n)]
+    for source, target in enumerate(targets):
+        rows[target][source] = 1
+    return tuple(tuple(row) for row in rows)
+
+
+def complementary_permutation_matrix(
+    n: int, payload_targets: Sequence[int]
+) -> IntMatrix:
+    """Return ``Pc``: routes noise coordinates into non-payload positions.
+
+    Given the payload targets used by :func:`permutation_matrix`, the
+    complementary matrix routes input coordinate ``k`` to the ``k``-th
+    position *not* claimed by a payload target (in increasing order).
+    The paper states the no-intersection property as
+    ``P @ Pc^T == 0`` under its source-offset convention; with this
+    module's target-routing convention the equivalent identity is
+    ``P^T @ Pc == 0`` — the two shuffles claim disjoint output
+    positions, which is what the encryption layout needs.
+    """
+    noise_targets = [i for i in range(n) if i not in set(payload_targets)]
+    return permutation_matrix(n, noise_targets)
+
+
+def shift_matrix(n: int) -> IntMatrix:
+    """Return the ``n x n`` cyclic down-shift matrix ``S``.
+
+    ``(S @ x)[i] == x[(i - 1) mod n]``; its transpose shifts up.  For
+    ``n == 3``::
+
+        S = [[0, 0, 1],
+             [1, 0, 0],
+             [0, 1, 0]]
+    """
+    if n < 1:
+        raise ValueError("shift matrix requires positive dimension")
+    return tuple(
+        tuple(1 if j == (i - 1) % n else 0 for j in range(n)) for i in range(n)
+    )
+
+
+def apply_matrix(m: IntMatrix, x: Sequence[int]) -> IntVector:
+    """Apply a (possibly rectangular) structured matrix to a vector."""
+    return mat_vec(m, x)

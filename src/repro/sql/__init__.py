@@ -1,0 +1,39 @@
+"""A small SQL front end over (encrypted) tables.
+
+The paper situates itself under systems like CryptDB and MONOMI, which
+"execute analytical queries over encrypted data" by splitting work
+between server and client (Section 2.1).  This package provides that
+analytical layer for the reproduction: a conjunctive-select SQL subset
+parsed into an AST, planned client-side (the client knows the
+plaintext bounds, so it can order predicates by selectivity — the
+MONOMI-style "planner that selects efficient query execution plans
+involving server and client"), and executed with one encrypted select
+per driving predicate plus client-side residual filtering.
+
+Supported grammar::
+
+    SELECT <column, ...> | * FROM <table>
+      [WHERE <predicate> [AND <predicate>]...]
+      [LIMIT <n>]
+
+    predicate := column (= | < | <= | > | >=) number
+               | column BETWEEN number AND number
+               | number (< | <=) column (< | <=) number
+
+Unsupported on purpose (documented scope): OR, joins, aggregates,
+expressions.  The executor works identically over plaintext
+:class:`repro.store.table.Table` and encrypted
+:class:`repro.core.encrypted_table.OutsourcedTable` instances.
+"""
+
+from repro.sql.ast import ColumnRange, SelectStatement
+from repro.sql.executor import Catalog, execute_sql
+from repro.sql.parser import parse_select
+
+__all__ = [
+    "ColumnRange",
+    "SelectStatement",
+    "Catalog",
+    "execute_sql",
+    "parse_select",
+]

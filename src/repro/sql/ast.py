@@ -1,0 +1,99 @@
+"""AST for the SQL subset: a select with conjunctive range predicates.
+
+Every WHERE conjunct normalises into a :class:`ColumnRange` — a
+possibly one-sided interval on one column.  Conjuncts on the same
+column intersect at parse/plan time, so the executed plan carries at
+most one range per column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import QueryError
+
+
+@dataclass
+class ColumnRange:
+    """An interval constraint ``low </<= column </<= high``.
+
+    Either side may be None (unbounded).  ``empty`` marks a constraint
+    no value satisfies (e.g. ``a > 5 AND a < 3``) — the planner short-
+    circuits to an empty result instead of querying the server.
+    """
+
+    column: str
+    low: Optional[int] = None
+    high: Optional[int] = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    empty: bool = False
+
+    def intersect(self, other: "ColumnRange") -> "ColumnRange":
+        """Conjunction of two constraints on the same column."""
+        if self.column != other.column:
+            raise QueryError("cannot intersect ranges on different columns")
+        low, low_inclusive = self.low, self.low_inclusive
+        if other.low is not None and (
+            low is None
+            or other.low > low
+            or (other.low == low and not other.low_inclusive)
+        ):
+            low, low_inclusive = other.low, other.low_inclusive
+        high, high_inclusive = self.high, self.high_inclusive
+        if other.high is not None and (
+            high is None
+            or other.high < high
+            or (other.high == high and not other.high_inclusive)
+        ):
+            high, high_inclusive = other.high, other.high_inclusive
+        empty = self.empty or other.empty
+        if low is not None and high is not None:
+            if low > high:
+                empty = True
+            elif low == high and not (low_inclusive and high_inclusive):
+                empty = True
+        return ColumnRange(
+            column=self.column,
+            low=low,
+            high=high,
+            low_inclusive=low_inclusive,
+            high_inclusive=high_inclusive,
+            empty=empty,
+        )
+
+    def width(self) -> Optional[int]:
+        """Interval width (selectivity proxy); None when unbounded."""
+        if self.low is None or self.high is None:
+            return None
+        return self.high - self.low
+
+    def contains(self, value: int) -> bool:
+        """Whether a value satisfies the constraint."""
+        if self.empty:
+            return False
+        if self.low is not None:
+            if value < self.low or (value == self.low and not self.low_inclusive):
+                return False
+        if self.high is not None:
+            if value > self.high or (
+                value == self.high and not self.high_inclusive
+            ):
+                return False
+        return True
+
+
+@dataclass
+class SelectStatement:
+    """A parsed SELECT: projection, table, conjunctive ranges, limit."""
+
+    columns: List[str]  # empty list means '*'
+    table: str
+    predicates: List[ColumnRange] = field(default_factory=list)
+    limit: Optional[int] = None
+
+    @property
+    def is_star(self) -> bool:
+        """Whether the projection is ``*``."""
+        return not self.columns

@@ -1,0 +1,181 @@
+"""Planner and executor over plaintext and encrypted tables.
+
+The plan for a conjunctive select is the MONOMI-style client/server
+split the paper cites:
+
+1. *empty short-circuit* — if intersected predicates are contradictory
+   the client answers without contacting the server;
+2. *driver choice* — the narrowest bounded predicate drives the
+   server-side (cracking) select: the client knows plaintext bounds,
+   so it can rank selectivity without any server statistics;
+3. *residual filtering* — remaining predicates are evaluated at the
+   client on values fetched by row id (over encrypted tables the
+   server never learns which residual predicates a row failed);
+4. *projection* — requested columns are fetched for surviving rows.
+
+The same executor runs over :class:`repro.store.table.Table`
+(plaintext, cracked server-side per column) and
+:class:`repro.core.encrypted_table.OutsourcedTable` (everything in
+ciphertext).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.encrypted_table import OutsourcedTable
+from repro.errors import QueryError
+from repro.sql.ast import ColumnRange, SelectStatement
+from repro.sql.parser import parse_select
+from repro.store.select import RangePredicate
+from repro.store.table import Table
+
+AnyTable = Union[Table, OutsourcedTable]
+
+
+class Catalog:
+    """Named tables the executor can address."""
+
+    def __init__(self, tables: Dict[str, AnyTable] = None) -> None:
+        self._tables: Dict[str, AnyTable] = dict(tables or {})
+
+    def register(self, name: str, table: AnyTable) -> None:
+        """Register (or replace) a table under a name."""
+        if not name:
+            raise QueryError("table name must be non-empty")
+        self._tables[name] = table
+
+    def table(self, name: str) -> AnyTable:
+        """Look up a table.
+
+        Raises:
+            QueryError: for unknown names.
+        """
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise QueryError("unknown table: %r" % name) from None
+
+
+def execute_sql(catalog: Catalog, sql: str) -> Dict[str, np.ndarray]:
+    """Parse and run one SELECT; returns column name -> values.
+
+    The result always includes ``logical_ids`` (qualifying row ids)
+    plus one array per projected column, all parallel.
+    """
+    return execute_statement(catalog, parse_select(sql))
+
+
+def execute_statement(
+    catalog: Catalog, statement: SelectStatement
+) -> Dict[str, np.ndarray]:
+    """Run a parsed SELECT against the catalog."""
+    table = catalog.table(statement.table)
+    columns = _resolve_projection(table, statement)
+    for predicate in statement.predicates:
+        if predicate.column not in _column_names(table):
+            raise QueryError("unknown column: %r" % predicate.column)
+
+    if any(predicate.empty for predicate in statement.predicates):
+        ids = np.empty(0, dtype=np.int64)
+    else:
+        ids = _qualifying_ids(table, statement.predicates)
+    if statement.limit is not None:
+        ids = ids[: statement.limit]
+
+    out: Dict[str, np.ndarray] = {"logical_ids": ids}
+    for column in columns:
+        out[column] = _fetch_column(table, column, ids)
+    return out
+
+
+# -- planning ------------------------------------------------------------------
+
+
+def _qualifying_ids(table: AnyTable, predicates: List[ColumnRange]) -> np.ndarray:
+    if not predicates:
+        return np.arange(len(table), dtype=np.int64)
+    driver = _choose_driver(predicates)
+    ids, driver_values = _driving_select(table, driver)
+    keep = np.ones(len(ids), dtype=bool)
+    for predicate in predicates:
+        if predicate is driver:
+            continue
+        values = _fetch_column(table, predicate.column, ids)
+        keep &= np.array(
+            [predicate.contains(int(v)) for v in values], dtype=bool
+        )
+    # Residual re-check of the driver is unnecessary: the select is
+    # exact.  (driver_values kept for symmetry/debugging.)
+    del driver_values
+    return ids[keep]
+
+
+def _choose_driver(predicates: List[ColumnRange]) -> ColumnRange:
+    """Narrowest bounded range wins; one-sided ranges as a fallback."""
+    bounded = [p for p in predicates if p.width() is not None]
+    if bounded:
+        return min(bounded, key=lambda p: p.width())
+    return predicates[0]
+
+
+def _driving_select(table: AnyTable, predicate: ColumnRange):
+    if isinstance(table, OutsourcedTable):
+        selection = table.select(
+            predicate.column,
+            low=predicate.low,
+            high=predicate.high,
+            low_inclusive=predicate.low_inclusive,
+            high_inclusive=predicate.high_inclusive,
+        )
+        return selection.logical_ids, selection.values
+    # Plaintext table: use the cracking index when attached, else scan.
+    engine = table.index_for(predicate.column)
+    if engine is not None:
+        ids = engine.query(
+            low=predicate.low,
+            high=predicate.high,
+            low_inclusive=predicate.low_inclusive,
+            high_inclusive=predicate.high_inclusive,
+        )
+    else:
+        values = table.column(predicate.column).values
+        mask = np.ones(len(values), dtype=bool)
+        if predicate.low is not None:
+            mask &= (
+                values >= predicate.low
+                if predicate.low_inclusive
+                else values > predicate.low
+            )
+        if predicate.high is not None:
+            mask &= (
+                values <= predicate.high
+                if predicate.high_inclusive
+                else values < predicate.high
+            )
+        ids = np.flatnonzero(mask)
+    return ids.astype(np.int64), table.column(predicate.column).fetch(ids)
+
+
+# -- fetch / projection ----------------------------------------------------------
+
+
+def _column_names(table: AnyTable) -> List[str]:
+    return table.column_names
+
+
+def _resolve_projection(table: AnyTable, statement: SelectStatement) -> List[str]:
+    if statement.is_star:
+        return _column_names(table)
+    for column in statement.columns:
+        if column not in _column_names(table):
+            raise QueryError("unknown column: %r" % column)
+    return statement.columns
+
+
+def _fetch_column(table: AnyTable, column: str, ids: np.ndarray) -> np.ndarray:
+    if isinstance(table, OutsourcedTable):
+        return table.fetch(column, ids)
+    return table.column(column).fetch(ids)

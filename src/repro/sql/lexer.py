@@ -1,0 +1,80 @@
+"""Tokenizer for the SQL subset.
+
+Hand-rolled single-pass scanner producing a flat token list; keywords
+are case-insensitive, identifiers case-sensitive, numbers are signed
+integers (the system is numeric-only, like the paper's scheme).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import QueryError
+
+KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "BETWEEN", "LIMIT"}
+
+#: Multi-character operators must be matched before single-character.
+OPERATORS = ("<=", ">=", "<", ">", "=", ",", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: a kind tag and its surface text."""
+
+    kind: str  # KEYWORD | IDENT | NUMBER | OP
+    text: str
+    position: int
+
+    def matches(self, kind: str, text: str = None) -> bool:
+        """Whether this token has the given kind (and text, if given)."""
+        if self.kind != kind:
+            return False
+        return text is None or self.text == text
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Scan a statement into tokens.
+
+    Raises:
+        QueryError: on any character that starts no valid token.
+    """
+    tokens: List[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        char = sql[index]
+        if char.isspace():
+            index += 1
+            continue
+        matched_operator = next(
+            (op for op in OPERATORS if sql.startswith(op, index)), None
+        )
+        if matched_operator is not None:
+            tokens.append(Token("OP", matched_operator, index))
+            index += len(matched_operator)
+            continue
+        if char.isdigit() or (
+            char == "-" and index + 1 < length and sql[index + 1].isdigit()
+        ):
+            end = index + 1
+            while end < length and sql[end].isdigit():
+                end += 1
+            tokens.append(Token("NUMBER", sql[index:end], index))
+            index = end
+            continue
+        if char.isalpha() or char == "_":
+            end = index + 1
+            while end < length and (sql[end].isalnum() or sql[end] == "_"):
+                end += 1
+            word = sql[index:end]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), index))
+            else:
+                tokens.append(Token("IDENT", word, index))
+            index = end
+            continue
+        raise QueryError(
+            "unexpected character %r at position %d" % (char, index)
+        )
+    return tokens

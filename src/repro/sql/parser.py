@@ -1,0 +1,163 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import QueryError
+from repro.sql.ast import ColumnRange, SelectStatement
+from repro.sql.lexer import Token, tokenize
+
+#: Comparison operator -> the ColumnRange fields it sets, with the
+#: column on the LEFT of the operator.
+_LEFT_COLUMN_OPS = {
+    "=": ("both", True),
+    "<": ("high", False),
+    "<=": ("high", True),
+    ">": ("low", False),
+    ">=": ("low", True),
+}
+
+
+class _Parser:
+    """Token-stream cursor with the usual expect/accept helpers."""
+
+    def __init__(self, tokens: List[Token], sql: str) -> None:
+        self._tokens = tokens
+        self._sql = sql
+        self._index = 0
+
+    def _peek(self) -> Token:
+        if self._index >= len(self._tokens):
+            raise QueryError("unexpected end of statement: %r" % self._sql)
+        return self._tokens[self._index]
+
+    def _done(self) -> bool:
+        return self._index >= len(self._tokens)
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        self._index += 1
+        return token
+
+    def _accept(self, kind: str, text: str = None) -> Token:
+        if not self._done() and self._peek().matches(kind, text):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, text: str = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            found = "end of statement" if self._done() else repr(self._peek().text)
+            raise QueryError(
+                "expected %s, found %s in %r"
+                % (text or kind, found, self._sql)
+            )
+        return token
+
+    # -- grammar -------------------------------------------------------------
+
+    def parse_select(self) -> SelectStatement:
+        self._expect("KEYWORD", "SELECT")
+        columns = self._projection()
+        self._expect("KEYWORD", "FROM")
+        table = self._expect("IDENT").text
+        predicates: List[ColumnRange] = []
+        if self._accept("KEYWORD", "WHERE"):
+            predicates.append(self._predicate())
+            while self._accept("KEYWORD", "AND"):
+                predicates.append(self._predicate())
+        limit = None
+        if self._accept("KEYWORD", "LIMIT"):
+            limit = int(self._expect("NUMBER").text)
+            if limit < 0:
+                raise QueryError("LIMIT must be non-negative")
+        if not self._done():
+            raise QueryError(
+                "unexpected trailing input %r in %r"
+                % (self._peek().text, self._sql)
+            )
+        return SelectStatement(
+            columns=columns,
+            table=table,
+            predicates=_merge_per_column(predicates),
+            limit=limit,
+        )
+
+    def _projection(self) -> List[str]:
+        if self._accept("OP", "*"):
+            return []
+        columns = [self._expect("IDENT").text]
+        while self._accept("OP", ","):
+            columns.append(self._expect("IDENT").text)
+        return columns
+
+    def _predicate(self) -> ColumnRange:
+        # Sandwich form: number op column op number.
+        if self._peek().kind == "NUMBER":
+            return self._sandwich_predicate()
+        column = self._expect("IDENT").text
+        if self._accept("KEYWORD", "BETWEEN"):
+            low = int(self._expect("NUMBER").text)
+            self._expect("KEYWORD", "AND")
+            high = int(self._expect("NUMBER").text)
+            if low > high:
+                raise QueryError("BETWEEN bounds inverted: %d > %d" % (low, high))
+            return ColumnRange(column, low=low, high=high)
+        operator = self._expect("OP").text
+        if operator not in _LEFT_COLUMN_OPS:
+            raise QueryError("unsupported operator %r" % operator)
+        value = int(self._expect("NUMBER").text)
+        side, inclusive = _LEFT_COLUMN_OPS[operator]
+        if side == "both":
+            return ColumnRange(column, low=value, high=value)
+        if side == "high":
+            return ColumnRange(column, high=value, high_inclusive=inclusive)
+        return ColumnRange(column, low=value, low_inclusive=inclusive)
+
+    def _sandwich_predicate(self) -> ColumnRange:
+        low = int(self._expect("NUMBER").text)
+        low_op = self._expect("OP").text
+        if low_op not in ("<", "<="):
+            raise QueryError(
+                "sandwich predicates need < or <= on the left, got %r" % low_op
+            )
+        column = self._expect("IDENT").text
+        high_op = self._expect("OP").text
+        if high_op not in ("<", "<="):
+            raise QueryError(
+                "sandwich predicates need < or <= on the right, got %r" % high_op
+            )
+        high = int(self._expect("NUMBER").text)
+        return ColumnRange(
+            column,
+            low=low,
+            high=high,
+            low_inclusive=low_op == "<=",
+            high_inclusive=high_op == "<=",
+        )
+
+
+def _merge_per_column(predicates: List[ColumnRange]) -> List[ColumnRange]:
+    """Intersect conjuncts column-wise; preserve first-seen order."""
+    merged: Dict[str, ColumnRange] = {}
+    order: List[str] = []
+    for predicate in predicates:
+        if predicate.column in merged:
+            merged[predicate.column] = merged[predicate.column].intersect(
+                predicate
+            )
+        else:
+            merged[predicate.column] = predicate
+            order.append(predicate.column)
+    return [merged[column] for column in order]
+
+
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement.
+
+    Raises:
+        QueryError: on any lexical or grammatical error (messages
+            include the offending statement).
+    """
+    return _Parser(tokenize(sql), sql).parse_select()

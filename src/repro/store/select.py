@@ -1,0 +1,73 @@
+"""Range predicates and the scan select operator.
+
+A :class:`RangePredicate` is the normal form of every query in the
+system: two bounds with independent inclusiveness.  Engines interpret
+it through cracking or scalar products; this module also provides the
+plain vectorised scan, the baseline interpretation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class RangePredicate:
+    """A one-attribute range predicate ``low <=/< A <=/< high``.
+
+    Point queries are the degenerate case ``low == high`` with both
+    sides inclusive.
+    """
+
+    low: int
+    high: int
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise QueryError(
+                "inverted range: low=%r > high=%r" % (self.low, self.high)
+            )
+
+    @classmethod
+    def point(cls, value: int) -> "RangePredicate":
+        """The equality predicate ``A == value``."""
+        return cls(value, value, True, True)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no value can satisfy the predicate."""
+        return self.low == self.high and not (
+            self.low_inclusive and self.high_inclusive
+        )
+
+    def contains(self, value: int) -> bool:
+        """Whether a single value satisfies the predicate."""
+        above = value >= self.low if self.low_inclusive else value > self.low
+        below = value <= self.high if self.high_inclusive else value < self.high
+        return above and below
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised membership over an integer array."""
+        values = np.asarray(values)
+        above = values >= self.low if self.low_inclusive else values > self.low
+        below = values <= self.high if self.high_inclusive else values < self.high
+        return above & below
+
+    def selectivity(self, domain_low: int, domain_high: int) -> float:
+        """Fraction of a dense integer domain the predicate covers."""
+        if domain_high <= domain_low:
+            raise QueryError("empty domain")
+        span = self.high - self.low
+        span += int(self.low_inclusive) + int(self.high_inclusive) - 1
+        return max(span, 0) / (domain_high - domain_low)
+
+
+def scan_select(values: np.ndarray, predicate: RangePredicate) -> np.ndarray:
+    """Positions of qualifying rows by a full vectorised scan."""
+    return np.flatnonzero(predicate.mask(values))

@@ -1,0 +1,134 @@
+"""Named columns, tables, and positional tuple reconstruction.
+
+Modern column-stores answer a selection on one attribute with a set of
+positions, then *reconstruct* the remaining attributes of qualifying
+tuples by positional fetches (paper, Sections 2.2 and 5).  A
+:class:`Table` holds fixed-width dense :class:`Column` arrays and
+supports exactly that flow; attaching an adaptive index to a column
+turns its selects into cracking selects, one column at a time, without
+affecting sibling columns (their arrays are addressed by the returned
+base positions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro.cracking.index import AdaptiveIndex
+from repro.errors import QueryError, UpdateError
+from repro.store.select import RangePredicate, scan_select
+
+
+class Column:
+    """One fixed-width dense integer attribute."""
+
+    def __init__(self, name: str, values) -> None:
+        if not name:
+            raise ValueError("column name must be non-empty")
+        self.name = name
+        self._values = np.array(values, dtype=np.int64).reshape(-1)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the column contents in base order."""
+        view = self._values.view()
+        view.flags.writeable = False
+        return view
+
+    def fetch(self, positions: np.ndarray) -> np.ndarray:
+        """Positional tuple reconstruction for this attribute."""
+        return self._values[np.asarray(positions, dtype=np.int64)]
+
+
+class Table:
+    """A set of equal-length columns addressed by base positions.
+
+    Args:
+        columns: mapping of name to array-like, all the same length.
+    """
+
+    def __init__(self, columns: Dict[str, Iterable[int]]) -> None:
+        self._columns: Dict[str, Column] = {}
+        self._indexes: Dict[str, AdaptiveIndex] = {}
+        self._nrows: Optional[int] = None
+        for name, values in columns.items():
+            self.add_column(name, values)
+
+    def __len__(self) -> int:
+        return self._nrows or 0
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of all columns, in insertion order."""
+        return list(self._columns)
+
+    def add_column(self, name: str, values) -> Column:
+        """Add a column; length must match existing columns."""
+        column = Column(name, values)
+        if self._nrows is None:
+            self._nrows = len(column)
+        elif len(column) != self._nrows:
+            raise UpdateError(
+                "column %r has %d rows, table has %d"
+                % (name, len(column), self._nrows)
+            )
+        if name in self._columns:
+            raise UpdateError("column %r already exists" % name)
+        self._columns[name] = column
+        return column
+
+    def column(self, name: str) -> Column:
+        """Look up a column by name."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise QueryError("unknown column: %r" % name) from None
+
+    # -- adaptive indexing -------------------------------------------------
+
+    def crack_column(self, name: str, **index_kwargs) -> AdaptiveIndex:
+        """Attach (or return) an adaptive cracking index on a column.
+
+        Subsequent :meth:`select` calls on this column run through the
+        index and refine it as a side effect.
+        """
+        if name not in self._indexes:
+            self._indexes[name] = AdaptiveIndex(
+                self.column(name).values, **index_kwargs
+            )
+        return self._indexes[name]
+
+    def index_for(self, name: str) -> Optional[AdaptiveIndex]:
+        """The adaptive index on a column, if one was attached."""
+        return self._indexes.get(name)
+
+    # -- query processing -----------------------------------------------------
+
+    def select(self, name: str, predicate: RangePredicate) -> np.ndarray:
+        """Positions of rows whose ``name`` attribute satisfies the predicate.
+
+        Runs through the column's adaptive index when present (cracking
+        as a side effect), otherwise scans.
+        """
+        index = self._indexes.get(name)
+        if index is None:
+            return scan_select(self.column(name).values, predicate)
+        return index.query(
+            predicate.low,
+            predicate.high,
+            predicate.low_inclusive,
+            predicate.high_inclusive,
+        )
+
+    def fetch(
+        self, positions: np.ndarray, names: Iterable[str] = None
+    ) -> Dict[str, np.ndarray]:
+        """Reconstruct tuples at ``positions`` for the given columns."""
+        if names is None:
+            names = self.column_names
+        return {name: self.column(name).fetch(positions) for name in names}

@@ -1,0 +1,40 @@
+"""Datasets and query workload generators (paper, Section 5).
+
+* :mod:`repro.workloads.datasets` — the paper's data: "unique
+  integers, drawn uniformly at random from [0, 2^31)", plus skewed and
+  clustered variants for robustness experiments.
+* :mod:`repro.workloads.generators` — query sequences: the default
+  "50K random selection queries with selectivity 1%", the Figure 13
+  selectivity ladder, and adversarial patterns (sequential, zoom-in,
+  skewed) from the adaptive-indexing literature.
+"""
+
+from repro.workloads.datasets import (
+    unique_uniform,
+    uniform_with_duplicates,
+    zipfian,
+    clustered,
+)
+from repro.workloads.generators import (
+    RangeQuery,
+    random_workload,
+    selectivity_ladder_workload,
+    sequential_workload,
+    zoom_workload,
+    skewed_workload,
+    point_workload,
+)
+
+__all__ = [
+    "unique_uniform",
+    "uniform_with_duplicates",
+    "zipfian",
+    "clustered",
+    "RangeQuery",
+    "random_workload",
+    "selectivity_ladder_workload",
+    "sequential_workload",
+    "zoom_workload",
+    "skewed_workload",
+    "point_workload",
+]

@@ -1,0 +1,95 @@
+"""Dataset generators.
+
+The paper's experiments use "unique integers, drawn uniformly at
+random from [0, 2^31)" (Section 5); :func:`unique_uniform` reproduces
+that.  The other generators provide the distributions the adaptive
+indexing literature stresses robustness against (duplicates, skew,
+pre-clustered runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: The paper's data domain: [0, 2^31).
+PAPER_DOMAIN = (0, 2 ** 31)
+
+
+def unique_uniform(
+    size: int,
+    domain=PAPER_DOMAIN,
+    seed: int = None,
+) -> np.ndarray:
+    """Unique integers drawn uniformly from ``[domain[0], domain[1])``.
+
+    The paper's dataset.  Raises when the domain cannot supply ``size``
+    distinct values.
+    """
+    low, high = domain
+    if high - low < size:
+        raise ValueError("domain too small for %d unique values" % size)
+    rng = np.random.default_rng(seed)
+    if high - low == size:
+        values = np.arange(low, high, dtype=np.int64)
+        rng.shuffle(values)
+        return values
+    # Rejection-free: sample with margin, drop duplicates, top up.
+    values = np.unique(rng.integers(low, high, size=int(size * 1.2) + 16))
+    while len(values) < size:
+        extra = rng.integers(low, high, size=size)
+        values = np.unique(np.concatenate((values, extra)))
+    values = values[:size].astype(np.int64)
+    rng.shuffle(values)
+    return values
+
+
+def uniform_with_duplicates(
+    size: int,
+    distinct: int,
+    domain=PAPER_DOMAIN,
+    seed: int = None,
+) -> np.ndarray:
+    """Uniform draws over a small distinct-value pool (heavy duplicates)."""
+    if distinct < 1:
+        raise ValueError("need at least one distinct value")
+    rng = np.random.default_rng(seed)
+    pool = unique_uniform(distinct, domain, seed)
+    return pool[rng.integers(0, distinct, size=size)].astype(np.int64)
+
+
+def zipfian(
+    size: int,
+    exponent: float = 1.2,
+    distinct: int = 1024,
+    domain=PAPER_DOMAIN,
+    seed: int = None,
+) -> np.ndarray:
+    """Zipf-skewed frequencies over a uniform distinct-value pool."""
+    if exponent <= 1.0:
+        raise ValueError("zipf exponent must exceed 1")
+    rng = np.random.default_rng(seed)
+    pool = unique_uniform(distinct, domain, seed)
+    ranks = rng.zipf(exponent, size=size)
+    ranks = np.minimum(ranks, distinct) - 1
+    return pool[ranks].astype(np.int64)
+
+
+def clustered(
+    size: int,
+    runs: int = 16,
+    domain=PAPER_DOMAIN,
+    seed: int = None,
+) -> np.ndarray:
+    """Piecewise-sorted data: ``runs`` pre-sorted segments, shuffled order.
+
+    Models data arriving in sorted batches (e.g. daily financial feeds
+    from the paper's motivating scenario).
+    """
+    if runs < 1:
+        raise ValueError("need at least one run")
+    values = np.sort(unique_uniform(size, domain, seed))
+    rng = np.random.default_rng(None if seed is None else seed + 1)
+    boundaries = np.linspace(0, size, runs + 1).astype(int)
+    segments = [values[boundaries[i]:boundaries[i + 1]] for i in range(runs)]
+    rng.shuffle(segments)
+    return np.concatenate(segments).astype(np.int64)

@@ -1,0 +1,82 @@
+"""Workload traces: persist and replay query sequences.
+
+Reproducibility plumbing: a workload generated once (or captured from
+a production log) can be saved as JSON and replayed bit-identically
+against any engine or session — the moral equivalent of the paper
+fixing "a sequence of 50K random selection queries" for every
+experiment.  The CLI's ``query --workload`` flag replays a trace file.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+from repro.errors import QueryError
+from repro.workloads.generators import RangeQuery
+
+TRACE_VERSION = 1
+
+
+def workload_to_json(queries: Sequence[RangeQuery]) -> str:
+    """Serialize a query sequence to a JSON string."""
+    return json.dumps(
+        {
+            "kind": "workload",
+            "version": TRACE_VERSION,
+            "queries": [
+                {
+                    "low": query.low,
+                    "high": query.high,
+                    "low_inclusive": query.low_inclusive,
+                    "high_inclusive": query.high_inclusive,
+                }
+                for query in queries
+            ],
+        },
+        separators=(",", ":"),
+    )
+
+
+def workload_from_json(text: str) -> List[RangeQuery]:
+    """Parse a workload trace.
+
+    Raises:
+        QueryError: on malformed traces (wrong kind/version/fields).
+    """
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise QueryError("invalid workload trace: %s" % exc) from exc
+    if not isinstance(data, dict) or data.get("kind") != "workload":
+        raise QueryError("not a workload trace")
+    if data.get("version") != TRACE_VERSION:
+        raise QueryError(
+            "unsupported trace version: %r" % (data.get("version"),)
+        )
+    queries: List[RangeQuery] = []
+    try:
+        for entry in data["queries"]:
+            queries.append(
+                RangeQuery(
+                    low=int(entry["low"]),
+                    high=int(entry["high"]),
+                    low_inclusive=bool(entry["low_inclusive"]),
+                    high_inclusive=bool(entry["high_inclusive"]),
+                )
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise QueryError("malformed workload trace: %s" % exc) from exc
+    return queries
+
+
+def save_workload(queries: Sequence[RangeQuery], path: str) -> None:
+    """Write a trace file."""
+    with open(path, "w") as handle:
+        handle.write(workload_to_json(queries) + "\n")
+
+
+def load_workload(path: str) -> List[RangeQuery]:
+    """Read a trace file."""
+    with open(path) as handle:
+        return workload_from_json(handle.read())

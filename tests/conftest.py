@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+Expensive artefacts (keys, encryptors, encrypted sessions) are module-
+or session-scoped; tests must not mutate them unless the fixture says
+otherwise.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.crypto.key import generate_key
+from repro.crypto.scheme import Encryptor
+
+
+@pytest.fixture(scope="session")
+def key4():
+    """Default-size key (paper default l = 4)."""
+    return generate_key(length=4, seed=20160626)
+
+
+@pytest.fixture(scope="session")
+def key8():
+    """A larger key for size-dependent behaviour."""
+    return generate_key(length=8, seed=4242)
+
+
+@pytest.fixture()
+def encryptor(key4):
+    """A fresh encryptor over the shared default key."""
+    return Encryptor(key4, seed=7)
+
+
+@pytest.fixture()
+def encryptor8(key8):
+    """A fresh encryptor over the shared l=8 key."""
+    return Encryptor(key8, seed=8)
+
+
+@pytest.fixture()
+def rng():
+    """Deterministic python RNG for test-local sampling."""
+    return random.Random(1234)
+
+
+@pytest.fixture()
+def small_values():
+    """A shuffled permutation of 0..499 (unique, easy to reason about)."""
+    values = np.arange(500, dtype=np.int64)
+    np.random.default_rng(99).shuffle(values)
+    return values
+
+
+def reference_positions(values, low, high, low_inclusive=True, high_inclusive=True):
+    """Ground-truth qualifying base positions by brute force."""
+    values = np.asarray(values)
+    mask = values >= low if low_inclusive else values > low
+    mask &= values <= high if high_inclusive else values < high
+    return np.flatnonzero(mask)

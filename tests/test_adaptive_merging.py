@@ -1,0 +1,103 @@
+"""Unit tests for the adaptive-merging engine."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cracking.adaptive_merging import AdaptiveMergingIndex
+from repro.errors import QueryError
+
+from conftest import reference_positions
+
+
+@pytest.fixture()
+def values():
+    return np.random.default_rng(8).permutation(2000).astype(np.int64)
+
+
+class TestCorrectness:
+    def test_matches_reference(self, values):
+        index = AdaptiveMergingIndex(values, run_count=8)
+        rng = random.Random(0)
+        for _ in range(150):
+            low = rng.randrange(0, 1900)
+            high = low + rng.randrange(0, 200)
+            low_inclusive = rng.random() < 0.5
+            high_inclusive = rng.random() < 0.5
+            result = np.sort(
+                index.query(low, high, low_inclusive, high_inclusive)
+            )
+            expected = reference_positions(
+                values, low, high, low_inclusive, high_inclusive
+            )
+            assert np.array_equal(result, expected)
+        index.check_invariants()
+
+    def test_point_query(self, values):
+        index = AdaptiveMergingIndex(values, run_count=4)
+        target = int(values[11])
+        assert index.query_point(target).tolist() == [11]
+
+    def test_repeated_query(self, values):
+        index = AdaptiveMergingIndex(values, run_count=4)
+        first = np.sort(index.query(100, 300))
+        second = np.sort(index.query(100, 300))
+        assert np.array_equal(first, second)
+
+    def test_duplicates(self):
+        index = AdaptiveMergingIndex([5, 5, 1, 5, 9], run_count=2)
+        assert len(index.query_point(5)) == 3
+        index.check_invariants()
+
+    def test_empty_column(self):
+        index = AdaptiveMergingIndex([], run_count=3)
+        assert len(index.query(0, 10)) == 0
+
+    def test_single_run(self, values):
+        index = AdaptiveMergingIndex(values, run_count=1)
+        result = np.sort(index.query(0, 500))
+        assert np.array_equal(result, reference_positions(values, 0, 500))
+
+    def test_invalid_run_count(self, values):
+        with pytest.raises(QueryError):
+            AdaptiveMergingIndex(values, run_count=0)
+
+    def test_inverted_range(self, values):
+        with pytest.raises(QueryError):
+            AdaptiveMergingIndex(values).query(10, 5)
+
+
+class TestMigration:
+    def test_rows_migrate_once(self, values):
+        index = AdaptiveMergingIndex(values, run_count=8)
+        index.query(0, 500)
+        moved_first = index.stats_log[0].cracked_rows
+        index.query(0, 500)
+        assert index.stats_log[1].cracked_rows == 0
+        assert moved_first == index.final_partition_size
+
+    def test_conservation(self, values):
+        index = AdaptiveMergingIndex(values, run_count=8)
+        for low in range(0, 2000, 250):
+            index.query(low, low + 100)
+        assert len(index) == len(values)
+        index.check_invariants()
+
+    def test_full_coverage_empties_runs(self, values):
+        index = AdaptiveMergingIndex(values, run_count=8)
+        index.query(int(values.min()), int(values.max()))
+        assert index.run_count == 0
+        assert index.final_partition_size == len(values)
+
+    def test_converges_after_one_touch(self, values):
+        # Adaptive merging's signature: once a range is queried, later
+        # queries inside it move nothing.
+        index = AdaptiveMergingIndex(values, run_count=8)
+        index.query(100, 900)
+        index.query(200, 800)
+        assert index.stats_log[1].cracked_rows == 0
+
+    def test_build_cost_recorded(self, values):
+        index = AdaptiveMergingIndex(values, run_count=8)
+        assert index.build_seconds > 0

@@ -1,0 +1,120 @@
+"""Unit tests for the order-leakage metrics (paper, Sections 4.1-4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import (
+    ambiguous_resolved_order_fraction,
+    leakage_series,
+    piece_index_per_row,
+    resolved_order_fraction,
+)
+from repro.cracking.index import AdaptiveIndex
+from repro.workloads.generators import random_workload
+
+
+class TestPieceIndex:
+    def test_mapping(self):
+        pieces = piece_index_per_row([0, 3, 5], 5)
+        assert pieces.tolist() == [0, 0, 0, 1, 1]
+
+    def test_bad_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            piece_index_per_row([1, 5], 5)
+        with pytest.raises(ValueError):
+            piece_index_per_row([0, 4], 5)
+
+
+class TestResolvedFraction:
+    def test_single_piece_leaks_nothing(self):
+        assert resolved_order_fraction([0, 100], 100) == 0.0
+
+    def test_fully_cracked_leaks_everything(self):
+        boundaries = list(range(101))
+        assert resolved_order_fraction(boundaries, 100) == 1.0
+
+    def test_halves(self):
+        # Two pieces of 50: resolved pairs = 50*50 of C(100,2) = 4950.
+        fraction = resolved_order_fraction([0, 50, 100], 100)
+        assert fraction == pytest.approx(2500 / 4950)
+
+    def test_monotone_in_refinement(self):
+        coarse = resolved_order_fraction([0, 50, 100], 100)
+        fine = resolved_order_fraction([0, 25, 50, 75, 100], 100)
+        assert fine > coarse
+
+    def test_tiny_columns(self):
+        assert resolved_order_fraction([0, 1], 1) == 0.0
+        assert resolved_order_fraction([0, 0], 0) == 0.0
+
+    def test_mismatched_coverage_rejected(self):
+        with pytest.raises(ValueError):
+            resolved_order_fraction([0, 40], 100)
+
+
+class TestAmbiguousResolvedFraction:
+    def test_single_piece_unresolved(self):
+        pieces = np.zeros(10, dtype=np.int64)
+        per_logical = {i: (2 * i, 2 * i + 1) for i in range(5)}
+        positions = {i: i for i in range(10)}
+        assert (
+            ambiguous_resolved_order_fraction(
+                pieces, per_logical, positions, sample_pairs=100, seed=0
+            )
+            == 0.0
+        )
+
+    def test_fully_separated_resolved(self):
+        # Logical record i's two interpretations both live in piece i.
+        pieces = np.array([0, 0, 1, 1, 2, 2])
+        per_logical = {0: (0, 1), 1: (2, 3), 2: (4, 5)}
+        positions = {i: i for i in range(6)}
+        assert (
+            ambiguous_resolved_order_fraction(
+                pieces, per_logical, positions, sample_pairs=100, seed=0
+            )
+            == 1.0
+        )
+
+    def test_straddling_interpretation_blocks_resolution(self):
+        # Record 0's fake sits beyond record 1's pieces: order uncertain.
+        pieces = np.array([0, 2, 1, 1])
+        per_logical = {0: (0, 1), 1: (2, 3)}
+        positions = {i: i for i in range(4)}
+        assert (
+            ambiguous_resolved_order_fraction(
+                pieces, per_logical, positions, sample_pairs=100, seed=0
+            )
+            == 0.0
+        )
+
+    def test_single_record(self):
+        pieces = np.array([0, 0])
+        assert (
+            ambiguous_resolved_order_fraction(
+                pieces, {0: (0, 1)}, {0: 0, 1: 1}, sample_pairs=10, seed=0
+            )
+            == 0.0
+        )
+
+
+class TestLeakageSeries:
+    def test_series_grows_with_queries(self):
+        values = np.random.default_rng(0).permutation(2000)
+        engine = AdaptiveIndex(values)
+        queries = random_workload(100, (0, 2000), selectivity=0.02, seed=1)
+        series = leakage_series(engine, queries, checkpoints=(1, 10, 100))
+        assert [count for count, __ in series] == [1, 10, 100]
+        fractions = [fraction for __, fraction in series]
+        assert fractions == sorted(fractions)
+        assert 0 < fractions[0] < 1
+
+    def test_threshold_caps_leakage(self):
+        values = np.random.default_rng(0).permutation(2000)
+        capped = AdaptiveIndex(values, min_piece_size=200)
+        queries = random_workload(200, (0, 2000), selectivity=0.02, seed=1)
+        series = leakage_series(capped, queries, checkpoints=(200,))
+        __, fraction = series[-1]
+        # Pieces never drop below ~100 rows on average, so the total
+        # order can never fully leak — unlike OPES.
+        assert fraction < 1.0

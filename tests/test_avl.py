@@ -1,0 +1,131 @@
+"""Unit tests for the comparator-generic AVL tree."""
+
+import random
+
+import pytest
+
+from repro.cracking.avl import AVLTree
+
+
+def int_cmp(a, b):
+    return (a > b) - (a < b)
+
+
+@pytest.fixture()
+def tree():
+    return AVLTree(int_cmp)
+
+
+class TestInsertAndFind:
+    def test_empty(self, tree):
+        assert len(tree) == 0
+        assert tree.root is None
+        assert tree.find(1) is None
+        assert tree.min_node() is None
+        assert tree.max_node() is None
+
+    def test_single(self, tree):
+        node = tree.insert(5, 50)
+        assert len(tree) == 1
+        assert tree.find(5) is node
+        assert node.position == 50
+
+    def test_duplicate_key_updates_position(self, tree):
+        tree.insert(5, 50)
+        node = tree.insert(5, 60)
+        assert len(tree) == 1
+        assert node.position == 60
+
+    def test_many_inserts_sorted_iteration(self, tree):
+        keys = random.Random(0).sample(range(1000), 200)
+        for key in keys:
+            tree.insert(key, key * 10)
+        assert [n.key for n in tree.in_order()] == sorted(keys)
+        assert len(tree) == 200
+
+    def test_invariants_after_random_inserts(self, tree):
+        rng = random.Random(1)
+        for _ in range(300):
+            tree.insert(rng.randrange(500), 0)
+            tree.check_invariants()
+
+    def test_height_is_logarithmic(self, tree):
+        for key in range(1024):  # adversarial ascending order
+            tree.insert(key, key)
+        # AVL height bound: ~1.44 log2(n).
+        assert tree.height() <= 15
+
+    def test_min_max(self, tree):
+        for key in (5, 2, 9, 7, 1):
+            tree.insert(key, key)
+        assert tree.min_node().key == 1
+        assert tree.max_node().key == 9
+
+
+class TestNavigation:
+    @pytest.fixture()
+    def populated(self, tree):
+        for key in (10, 20, 30, 40, 50):
+            tree.insert(key, key)
+        return tree
+
+    def test_floor(self, populated):
+        assert populated.floor(25).key == 20
+        assert populated.floor(20).key == 20
+        assert populated.floor(5) is None
+        assert populated.floor(99).key == 50
+
+    def test_ceiling(self, populated):
+        assert populated.ceiling(25).key == 30
+        assert populated.ceiling(30).key == 30
+        assert populated.ceiling(99) is None
+        assert populated.ceiling(5).key == 10
+
+    def test_successor_chain(self, populated):
+        node = populated.min_node()
+        seen = [node.key]
+        while True:
+            node = populated.successor(node)
+            if node is None:
+                break
+            seen.append(node.key)
+        assert seen == [10, 20, 30, 40, 50]
+
+    def test_predecessor_chain(self, populated):
+        node = populated.max_node()
+        seen = [node.key]
+        while True:
+            node = populated.predecessor(node)
+            if node is None:
+                break
+            seen.append(node.key)
+        assert seen == [50, 40, 30, 20, 10]
+
+    def test_navigation_matches_sorted_list(self):
+        rng = random.Random(2)
+        tree = AVLTree(int_cmp)
+        keys = sorted(rng.sample(range(10000), 300))
+        for key in keys:
+            tree.insert(key, key)
+        for probe in rng.sample(range(10000), 100):
+            floor_node = tree.floor(probe)
+            expected_floor = max((k for k in keys if k <= probe), default=None)
+            assert (floor_node.key if floor_node else None) == expected_floor
+            ceiling_node = tree.ceiling(probe)
+            expected_ceiling = min((k for k in keys if k >= probe), default=None)
+            assert (ceiling_node.key if ceiling_node else None) == expected_ceiling
+
+
+class TestCustomComparator:
+    def test_reversed_order(self):
+        tree = AVLTree(lambda a, b: int_cmp(b, a))
+        for key in (1, 2, 3):
+            tree.insert(key, key)
+        assert [n.key for n in tree.in_order()] == [3, 2, 1]
+        assert tree.min_node().key == 3
+
+    def test_tuple_keys(self):
+        tree = AVLTree(lambda a, b: int_cmp(a, b))
+        tree.insert((5, False), 1)
+        tree.insert((5, True), 2)
+        assert [n.key for n in tree.in_order()] == [(5, False), (5, True)]

@@ -1,0 +1,65 @@
+"""Unit tests for the plaintext baselines (full scan, sort-once)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.cracking.baselines import FullScanIndex, FullSortIndex
+from repro.errors import QueryError
+
+from conftest import reference_positions
+
+
+@pytest.mark.parametrize("engine_cls", [FullScanIndex, FullSortIndex])
+class TestBaselineCorrectness:
+    def test_matches_reference(self, engine_cls, small_values):
+        engine = engine_cls(small_values)
+        rng = random.Random(0)
+        for _ in range(100):
+            low = rng.randrange(0, 480)
+            high = low + rng.randrange(0, 60)
+            low_inclusive = rng.random() < 0.5
+            high_inclusive = rng.random() < 0.5
+            result = np.sort(
+                engine.query(low, high, low_inclusive, high_inclusive)
+            )
+            expected = reference_positions(
+                small_values, low, high, low_inclusive, high_inclusive
+            )
+            assert np.array_equal(result, expected)
+
+    def test_point_query(self, engine_cls, small_values):
+        engine = engine_cls(small_values)
+        target = int(small_values[3])
+        assert engine.query_point(target).tolist() == [3]
+
+    def test_inverted_rejected(self, engine_cls, small_values):
+        with pytest.raises(QueryError):
+            engine_cls(small_values).query(10, 0)
+
+    def test_duplicates(self, engine_cls):
+        engine = engine_cls([4, 4, 1, 4])
+        assert sorted(engine.query_point(4).tolist()) == [0, 1, 3]
+
+    def test_stats(self, engine_cls, small_values):
+        engine = engine_cls(small_values)
+        engine.query(0, 100)
+        assert len(engine.stats_log) == 1
+        assert engine.stats_log[0].result_count == 101
+
+
+class TestSortSpecifics:
+    def test_build_cost_recorded(self, small_values):
+        engine = FullSortIndex(small_values)
+        assert engine.build_seconds >= 0
+
+    def test_queries_touch_no_data(self, small_values):
+        engine = FullSortIndex(small_values)
+        engine.query(0, 250)
+        # Binary searching is orders faster than the build; this just
+        # pins the stats channel (search only, no crack/scan).
+        stats = engine.stats_log[0]
+        assert stats.crack_seconds == 0
+        assert stats.scan_seconds == 0
+        assert stats.search_seconds > 0

@@ -1,0 +1,161 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def column_file(tmp_path):
+    path = tmp_path / "values.txt"
+    path.write_text("# comment\n10\n20\n30\n\n40\n")
+    return str(path)
+
+
+@pytest.fixture()
+def csv_file(tmp_path):
+    rng = np.random.default_rng(0)
+    prices = rng.permutation(50)
+    volumes = rng.integers(0, 10, 50)
+    lines = ["price,volume"]
+    lines += ["%d,%d" % (p, v) for p, v in zip(prices, volumes)]
+    path = tmp_path / "trades.csv"
+    path.write_text("\n".join(lines))
+    return str(path)
+
+
+class TestDemo:
+    def test_runs(self, capsys):
+        assert main(["demo", "--rows", "200", "--queries", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "first query" in out
+        assert "crack bounds" in out
+
+    def test_with_ambiguity(self, capsys):
+        assert main(
+            ["demo", "--rows", "100", "--queries", "5", "--ambiguity"]
+        ) == 0
+        assert "false-positive rate" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_range_and_point(self, capsys, column_file):
+        code = main(
+            ["query", column_file, "--range", "15", "35", "--point", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "range [15, 35]: 2 rows" in out
+        assert "point 40: 1 rows" in out
+
+    def test_scan_engine(self, capsys, column_file):
+        assert main(
+            ["query", column_file, "--engine", "scan", "--range", "0", "100"]
+        ) == 0
+        assert "4 rows" in capsys.readouterr().out
+
+    def test_no_queries_hint(self, capsys, column_file):
+        assert main(["query", column_file]) == 0
+        assert "no queries given" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys, tmp_path):
+        assert main(["query", str(tmp_path / "nope.txt")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_content(self, capsys, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("12\nhello\n")
+        assert main(["query", str(path), "--point", "12"]) == 2
+        assert "not an integer" in capsys.readouterr().err
+
+    def test_empty_file(self, capsys, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        assert main(["query", str(path)]) == 2
+
+
+class TestSql:
+    def test_encrypted_select(self, capsys, csv_file):
+        code = main(
+            [
+                "sql",
+                "--table", "trades=%s" % csv_file,
+                "SELECT price, volume FROM trades "
+                "WHERE price BETWEEN 10 AND 20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "(11 rows)" in out
+        assert "price" in out and "volume" in out
+
+    def test_plaintext_select(self, capsys, csv_file):
+        code = main(
+            [
+                "sql", "--plaintext",
+                "--table", "trades=%s" % csv_file,
+                "SELECT price FROM trades WHERE price = 7",
+            ]
+        )
+        assert code == 0
+        assert "(1 rows)" in capsys.readouterr().out
+
+    def test_bad_table_spec(self, capsys, csv_file):
+        assert main(["sql", "--table", "oops", "SELECT a FROM b"]) == 2
+
+    def test_sql_error_reported(self, capsys, csv_file):
+        code = main(
+            ["sql", "--table", "trades=%s" % csv_file, "SELECT nope FROM trades"]
+        )
+        assert code == 2
+        assert "unknown column" in capsys.readouterr().err
+
+    def test_malformed_csv(self, capsys, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        code = main(
+            ["sql", "--table", "t=%s" % path, "SELECT a FROM t"]
+        )
+        assert code == 2
+
+
+class TestKeygen:
+    def test_emits_serialized_key(self, capsys):
+        assert main(["keygen", "--length", "6", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        from repro.crypto.serialization import loads
+
+        key = loads(out.strip())
+        assert key.length == 6
+
+    def test_deterministic(self, capsys):
+        main(["keygen", "--seed", "5"])
+        first = capsys.readouterr().out
+        main(["keygen", "--seed", "5"])
+        second = capsys.readouterr().out
+        assert first == second
+
+
+class TestSqlAmbiguity:
+    def test_ambiguous_tables(self, capsys, csv_file):
+        code = main(
+            [
+                "sql", "--ambiguity",
+                "--table", "trades=%s" % csv_file,
+                "SELECT price FROM trades WHERE price BETWEEN 10 AND 20",
+            ]
+        )
+        assert code == 0
+        assert "(11 rows)" in capsys.readouterr().out
+
+    def test_ambiguity_requires_encryption(self, capsys, csv_file):
+        code = main(
+            [
+                "sql", "--ambiguity", "--plaintext",
+                "--table", "trades=%s" % csv_file,
+                "SELECT price FROM trades",
+            ]
+        )
+        assert code == 2
+        assert "requires encrypted" in capsys.readouterr().err

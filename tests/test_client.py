@@ -1,0 +1,123 @@
+"""Unit tests for the trusted client."""
+
+import numpy as np
+import pytest
+
+from repro.core.client import TrustedClient
+from repro.crypto.key import generate_key
+from repro.errors import QueryError
+
+
+class TestKeyManagement:
+    def test_auto_generated_key(self):
+        client = TrustedClient(seed=0)
+        assert client.key.length == 4
+
+    def test_explicit_key_kept(self):
+        key = generate_key(length=8, seed=1)
+        client = TrustedClient(key=key)
+        assert client.key is key
+
+    def test_custom_key_length(self):
+        client = TrustedClient(seed=0, key_length=6)
+        assert client.key.length == 6
+
+    def test_ambiguity_regenerates_steerable_key_on_dataset(self):
+        client = TrustedClient(seed=0, ambiguity=True)
+        provisional = client.key
+        client.encrypt_dataset([10, 20, 30])
+        # A steerable key may or may not equal the provisional one, but
+        # the domain must be learned and the key fixed thereafter.
+        assert client.fake_domain == (10, 31)
+        fixed = client.key
+        client.encrypt_dataset([5, 50])
+        assert client.key is fixed
+
+
+class TestDatasetEncryption:
+    def test_plain_one_row_per_value(self):
+        client = TrustedClient(seed=1)
+        rows, row_ids = client.encrypt_dataset([5, 6, 7])
+        assert len(rows) == 3
+        assert row_ids == [0, 1, 2]
+
+    def test_ambiguity_two_rows_per_value(self):
+        client = TrustedClient(seed=1, ambiguity=True)
+        rows, row_ids = client.encrypt_dataset([5, 6, 7])
+        assert len(rows) == 6
+        assert row_ids == [0, 1, 2, 3, 4, 5]
+
+    def test_logical_id_mapping(self):
+        plain = TrustedClient(seed=1)
+        assert plain.logical_id(2) == 2
+        ambiguous = TrustedClient(seed=1, ambiguity=True)
+        assert ambiguous.logical_id(4) == 2
+        assert ambiguous.logical_id(5) == 2
+
+    def test_every_value_decryptable(self):
+        client = TrustedClient(seed=2)
+        rows, __ = client.encrypt_dataset([1, -5, 10 ** 9])
+        values = [client.encryptor.decrypt_value(row) for row in rows]
+        assert values == [1, -5, 10 ** 9]
+
+    def test_ambiguity_exactly_one_real_per_pair(self):
+        client = TrustedClient(seed=2, ambiguity=True)
+        rows, __ = client.encrypt_dataset(list(range(10)))
+        for logical in range(10):
+            flags = [
+                client.encryptor.decrypt_row(rows[2 * logical + k]).is_real
+                for k in (0, 1)
+            ]
+            assert sum(flags) == 1
+
+
+class TestQueries:
+    def test_query_carries_both_modes(self):
+        client = TrustedClient(seed=3)
+        query = client.make_query(5, 10)
+        assert query.low.eb.length == client.key.length
+        assert query.low.ev.length == client.key.length
+        assert client.encryptor.decrypt_value(query.low.ev) == 5
+        assert client.encryptor.decrypt_value(query.high.ev) == 10
+
+    def test_inverted_query_rejected(self):
+        with pytest.raises(QueryError):
+            TrustedClient(seed=3).make_query(10, 5)
+
+    def test_pivots_encrypted(self):
+        client = TrustedClient(seed=3)
+        query = client.make_query(5, 10, pivots=(7, 8))
+        assert len(query.pivots) == 2
+        assert client.encryptor.decrypt_value(query.pivots[0].ev) == 7
+
+
+class TestDecryptResults:
+    def test_filters_fakes_and_counts(self):
+        client = TrustedClient(seed=4, ambiguity=True)
+        rows, row_ids = client.encrypt_dataset([100, 200])
+        result = client.decrypt_results(row_ids, rows)
+        assert sorted(result.values.tolist()) == [100, 200]
+        assert result.false_positives == 2
+        assert result.returned_rows == 4
+        assert result.false_positive_rate == 0.5
+
+    def test_logical_ids_deduplicated_per_value(self):
+        client = TrustedClient(seed=4, ambiguity=True)
+        rows, row_ids = client.encrypt_dataset([100, 200])
+        result = client.decrypt_results(row_ids, rows)
+        assert sorted(result.logical_ids.tolist()) == [0, 1]
+
+    def test_custom_id_mapper(self):
+        client = TrustedClient(seed=5)
+        rows, row_ids = client.encrypt_dataset([7])
+        result = client.decrypt_results(
+            row_ids, rows, id_mapper=lambda i: i + 1000
+        )
+        assert result.logical_ids.tolist() == [1000]
+
+    def test_empty_result(self):
+        client = TrustedClient(seed=5)
+        result = client.decrypt_results([], [])
+        assert result.returned_rows == 0
+        assert result.false_positive_rate == 0.0
+        assert result.values.dtype == np.int64

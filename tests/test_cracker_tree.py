@@ -1,0 +1,91 @@
+"""Unit tests for find_piece / add_crack over the cracker AVL tree."""
+
+import pytest
+
+from repro.cracking.avl import AVLTree
+from repro.cracking.cracker_tree import add_crack, find_piece
+
+
+def int_cmp(a, b):
+    return (a > b) - (a < b)
+
+
+@pytest.fixture()
+def tree():
+    return AVLTree(int_cmp)
+
+
+class TestFindPiece:
+    def test_empty_tree_whole_column(self, tree):
+        assert find_piece(tree, 42, 1000) == (0, 1000)
+
+    def test_between_two_bounds(self, tree):
+        tree.insert(10, 100)
+        tree.insert(20, 200)
+        assert find_piece(tree, 15, 1000) == (100, 200)
+
+    def test_below_all(self, tree):
+        tree.insert(10, 100)
+        assert find_piece(tree, 5, 1000) == (0, 100)
+
+    def test_above_all(self, tree):
+        tree.insert(10, 100)
+        assert find_piece(tree, 50, 1000) == (100, 1000)
+
+    def test_exact_match_collapses(self, tree):
+        tree.insert(10, 100)
+        assert find_piece(tree, 10, 1000) == (100, 100)
+
+    def test_many_bounds(self, tree):
+        for bound, position in [(10, 1), (20, 2), (30, 3), (40, 4)]:
+            tree.insert(bound, position * 100)
+        assert find_piece(tree, 25, 1000) == (200, 300)
+        assert find_piece(tree, 35, 1000) == (300, 400)
+        assert find_piece(tree, 5, 1000) == (0, 100)
+        assert find_piece(tree, 45, 1000) == (400, 1000)
+
+
+class TestAddCrack:
+    def test_boundary_positions_not_stored(self, tree):
+        assert add_crack(tree, 10, 0, 1000) is None
+        assert add_crack(tree, 10, 1000, 1000) is None
+        assert len(tree) == 0
+
+    def test_inserts_fresh_node(self, tree):
+        node = add_crack(tree, 10, 100, 1000)
+        assert node is not None
+        assert tree.find(10) is node
+        assert node.position == 100
+
+    def test_existing_key_position_refreshed(self, tree):
+        add_crack(tree, 10, 100, 1000)
+        node = add_crack(tree, 10, 120, 1000)
+        assert len(tree) == 1
+        assert node.position == 120
+
+    def test_neighbour_same_position_reused(self, tree):
+        # Case 1/2: no values between bounds 10 and 12, so the crack
+        # position is identical — no new node is added.
+        add_crack(tree, 10, 100, 1000)
+        node = add_crack(tree, 12, 100, 1000)
+        assert len(tree) == 1
+        assert node.key == 10
+
+    def test_neighbour_reuse_from_above(self, tree):
+        add_crack(tree, 12, 100, 1000)
+        node = add_crack(tree, 10, 100, 1000)
+        assert len(tree) == 1
+        assert node.key == 12
+
+    def test_distinct_positions_create_nodes(self, tree):
+        add_crack(tree, 10, 100, 1000)
+        add_crack(tree, 20, 200, 1000)
+        add_crack(tree, 15, 150, 1000)
+        assert len(tree) == 3
+        assert find_piece(tree, 12, 1000) == (100, 150)
+
+    def test_tree_stays_balanced(self, tree):
+        for i in range(1, 200):
+            add_crack(tree, i, i, 1000)
+        tree.check_invariants()
+        assert tree.height() <= 12

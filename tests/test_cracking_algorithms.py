@@ -1,0 +1,153 @@
+"""Unit tests for the core cracking algorithms (paper, Algorithm 1)."""
+
+import itertools
+import random
+
+import numpy as np
+import pytest
+
+from repro.cracking.algorithms import (
+    crack_in_three,
+    crack_in_two,
+    partition_order,
+    three_way_partition_order,
+)
+
+
+def run_crack_in_two(flags):
+    """Partition a 0/1 array in place; returns (array, split)."""
+    data = list(flags)
+
+    def belongs_left(i):
+        return data[i] == 0
+
+    def swap(i, j):
+        data[i], data[j] = data[j], data[i]
+
+    split = crack_in_two(belongs_left, swap, 0, len(data) - 1)
+    return data, split
+
+
+class TestCrackInTwo:
+    def test_exhaustive_small(self):
+        # All 0/1 inputs up to length 8: the three termination shapes
+        # of the cursor loop are all exercised.
+        for n in range(0, 9):
+            for flags in itertools.product([0, 1], repeat=n):
+                data, split = run_crack_in_two(flags)
+                assert sorted(data) == sorted(flags)
+                assert all(x == 0 for x in data[:split])
+                assert all(x == 1 for x in data[split:])
+
+    def test_empty_range(self):
+        assert crack_in_two(lambda i: True, lambda i, j: None, 3, 2) == 3
+
+    def test_all_left(self):
+        data, split = run_crack_in_two([0, 0, 0, 0])
+        assert split == 4
+
+    def test_all_right(self):
+        data, split = run_crack_in_two([1, 1, 1])
+        assert split == 0
+
+    def test_subrange_only(self):
+        data = [9, 1, 0, 1, 0, 9]
+
+        def belongs_left(i):
+            return data[i] == 0
+
+        def swap(i, j):
+            data[i], data[j] = data[j], data[i]
+
+        split = crack_in_two(belongs_left, swap, 1, 4)
+        assert data[0] == 9 and data[5] == 9  # untouched outside
+        assert data[1:split] == [0, 0]
+        assert data[split:5] == [1, 1]
+
+    def test_random_against_sorted(self):
+        rng = random.Random(5)
+        for _ in range(100):
+            values = [rng.randrange(100) for _ in range(rng.randrange(1, 60))]
+            pivot = rng.randrange(100)
+            data = values[:]
+
+            def belongs_left(i):
+                return data[i] < pivot
+
+            def swap(i, j):
+                data[i], data[j] = data[j], data[i]
+
+            split = crack_in_two(belongs_left, swap, 0, len(data) - 1)
+            assert split == sum(1 for v in values if v < pivot)
+            assert all(v < pivot for v in data[:split])
+            assert all(v >= pivot for v in data[split:])
+
+
+class TestCrackInThree:
+    def run(self, regions):
+        data = list(regions)
+
+        def region_of(i):
+            return data[i]
+
+        def swap(i, j):
+            data[i], data[j] = data[j], data[i]
+
+        split0, split1 = crack_in_three(region_of, swap, 0, len(data) - 1)
+        return data, split0, split1
+
+    def test_exhaustive_small(self):
+        for n in range(0, 7):
+            for regions in itertools.product([0, 1, 2], repeat=n):
+                data, split0, split1 = self.run(regions)
+                assert sorted(data) == sorted(regions)
+                assert all(x == 0 for x in data[:split0])
+                assert all(x == 1 for x in data[split0:split1])
+                assert all(x == 2 for x in data[split1:])
+
+    def test_empty(self):
+        data, split0, split1 = self.run([])
+        assert (split0, split1) == (0, 0)
+
+    def test_invalid_region_rejected(self):
+        with pytest.raises(ValueError):
+            crack_in_three(lambda i: 7, lambda i, j: None, 0, 0)
+
+
+class TestVectorisedPartitions:
+    def test_partition_order_stable(self):
+        mask = np.array([True, False, True, False, True])
+        order = partition_order(mask)
+        assert order.tolist() == [0, 2, 4, 1, 3]
+
+    def test_partition_order_matches_inplace(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            values = rng.integers(0, 50, rng.integers(1, 40))
+            pivot = int(rng.integers(0, 50))
+            order = partition_order(values < pivot)
+            reordered = values[order]
+            data, split = run_crack_in_two(
+                [0 if v < pivot else 1 for v in values]
+            )
+            count_left = int(np.count_nonzero(values < pivot))
+            assert split == count_left
+            assert np.all(reordered[:count_left] < pivot)
+            assert np.all(reordered[count_left:] >= pivot)
+
+    def test_three_way_order(self):
+        regions = np.array([2, 0, 1, 0, 2, 1])
+        order, count0, count01 = three_way_partition_order(regions)
+        reordered = regions[order]
+        assert count0 == 2
+        assert count01 == 4
+        assert reordered.tolist() == [0, 0, 1, 1, 2, 2]
+
+    def test_three_way_stability(self):
+        regions = np.array([1, 1, 0, 0])
+        order, __, ___ = three_way_partition_order(regions)
+        # Stable: original relative order preserved within regions.
+        assert order.tolist() == [2, 3, 0, 1]
+
+    def test_empty_mask(self):
+        assert partition_order(np.array([], dtype=bool)).size == 0

@@ -1,0 +1,136 @@
+"""Unit tests for the ambiguity layer (paper, Section 4.2)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.crypto.ambiguity import (
+    noise_contraction_matrix,
+    theta_prefix_variant,
+    theta_suffix_variant,
+)
+from repro.crypto.ciphertext import AmbiguousCiphertext
+from repro.crypto.key import generate_key
+from repro.crypto.scheme import Encryptor
+from repro.errors import AmbiguityError
+from repro.linalg.intmat import mat_vec
+from repro.linalg.vectors import dot
+
+
+class TestUnsteeredAmbiguity:
+    def test_exactly_one_real_branch(self, encryptor):
+        for value in (0, 5, -19, 2 ** 31 - 1):
+            ambiguous = encryptor.encrypt_value_ambiguous(value)
+            flags = [
+                encryptor.decrypt_row(row).is_real
+                for row in ambiguous.interpretations()
+            ]
+            assert sum(flags) == 1
+
+    def test_real_branch_decodes_to_value(self, encryptor):
+        for value in (7, -7, 123456789):
+            ambiguous = encryptor.encrypt_value_ambiguous(value)
+            rows = ambiguous.interpretations()
+            real = next(
+                r for r in rows if encryptor.decrypt_row(r).is_real
+            )
+            assert encryptor.decrypt_value(real) == value
+
+    def test_both_variants_occur(self, encryptor):
+        # The theta end is drawn uniformly; over many encryptions both
+        # prefix-real and suffix-real layouts must appear.
+        reals = set()
+        for value in range(40):
+            ambiguous = encryptor.encrypt_value_ambiguous(value)
+            prefix, suffix = ambiguous.interpretations()
+            reals.add(
+                "prefix" if encryptor.decrypt_row(prefix).is_real else "suffix"
+            )
+        assert reals == {"prefix", "suffix"}
+
+    def test_vector_length(self, encryptor):
+        ambiguous = encryptor.encrypt_value_ambiguous(3)
+        assert len(ambiguous.numerators) == encryptor.key.length + 1
+        assert ambiguous.length == encryptor.key.length
+
+    def test_interpretations_share_denominator(self, encryptor):
+        ambiguous = encryptor.encrypt_value_ambiguous(3)
+        prefix, suffix = ambiguous.interpretations()
+        assert prefix.denominator == suffix.denominator == ambiguous.denominator
+
+    def test_fake_branch_passes_structural_check(self, encryptor):
+        # The fake window's noise (after mapping back through M) must
+        # be orthogonal to u: that is the whole point of theta.
+        key = encryptor.key
+        for value in (11, -4):
+            ambiguous = encryptor.encrypt_value_ambiguous(value)
+            for row in ambiguous.interpretations():
+                pre_image = mat_vec(key.matrix, row.numerators)
+                assert dot(key.u, key.noise_projection(pre_image)) == 0
+
+    def test_minimum_container_length(self):
+        with pytest.raises(ValueError):
+            AmbiguousCiphertext((1, 2, 3), 1)
+        with pytest.raises(ValueError):
+            AmbiguousCiphertext((1, 2, 3, 4), 0)
+
+
+class TestThetaFormulaFidelity:
+    """Cross-validate the fast theta path against the paper's Table 1
+    matrix algebra."""
+
+    def test_contraction_matches_ambiguity_row(self):
+        for seed in range(5):
+            key = generate_key(seed=seed)
+            assert tuple(noise_contraction_matrix(key)) == key.ambiguity_row
+
+    def test_suffix_theta_matches_scheme(self, encryptor):
+        key = encryptor.key
+        for value in (3, -9, 10 ** 6):
+            real = encryptor.encrypt_value(value)
+            ambiguous = encryptor._attach_theta(real, theta_as_suffix=True)
+            theta_from_vector = Fraction(
+                ambiguous.numerators[-1], ambiguous.denominator
+            )
+            assert theta_from_vector == theta_suffix_variant(key, real)
+
+    def test_prefix_theta_matches_scheme(self, encryptor):
+        key = encryptor.key
+        for value in (3, -9, 10 ** 6):
+            real = encryptor.encrypt_value(value)
+            ambiguous = encryptor._attach_theta(real, theta_as_suffix=False)
+            theta_from_vector = Fraction(
+                ambiguous.numerators[0], ambiguous.denominator
+            )
+            assert theta_from_vector == theta_prefix_variant(key, real)
+
+    def test_theta_for_larger_keys(self, encryptor8):
+        key = encryptor8.key
+        real = encryptor8.encrypt_value(31415)
+        ambiguous = encryptor8._attach_theta(real, theta_as_suffix=True)
+        assert Fraction(
+            ambiguous.numerators[-1], ambiguous.denominator
+        ) == theta_suffix_variant(key, real)
+
+    def test_prefix_of_suffix_variant_is_real_row(self, encryptor):
+        real = encryptor.encrypt_value(271828)
+        ambiguous = encryptor._attach_theta(real, theta_as_suffix=True)
+        prefix, __ = ambiguous.interpretations()
+        scale = ambiguous.denominator
+        assert prefix.numerators == tuple(x * scale for x in real.numerators)
+
+
+class TestAmbiguityAtMinimumLength:
+    def test_length_three_unsteered_works(self):
+        encryptor = Encryptor(generate_key(length=3, seed=0), seed=1)
+        ambiguous = encryptor.encrypt_value_ambiguous(100)
+        flags = [
+            encryptor.decrypt_row(row).is_real
+            for row in ambiguous.interpretations()
+        ]
+        assert sum(flags) == 1
+
+    def test_length_three_steering_rejected(self):
+        encryptor = Encryptor(generate_key(length=3, seed=0), seed=1)
+        with pytest.raises(AmbiguityError):
+            encryptor.encrypt_value_ambiguous(100, fake_value=50)

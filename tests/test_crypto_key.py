@@ -1,0 +1,113 @@
+"""Unit tests for key generation (paper, Section 3.4)."""
+
+import pytest
+
+from repro.crypto.key import (
+    DEFAULT_LENGTH,
+    MIN_LENGTH,
+    SecretKey,
+    generate_key,
+)
+from repro.errors import KeyGenerationError
+from repro.linalg.intmat import identity, mat_mul, mat_vec
+from repro.linalg.vectors import dot
+
+
+class TestGenerateKey:
+    def test_default_length_matches_paper(self):
+        key = generate_key(seed=0)
+        assert key.length == DEFAULT_LENGTH == 4
+
+    @pytest.mark.parametrize("length", [3, 4, 5, 8, 16, 32, 64])
+    def test_lengths(self, length):
+        key = generate_key(length=length, seed=length)
+        assert key.length == length
+        assert len(key.u) == length - 2
+        assert len(key.noise_positions) == length - 2
+
+    def test_matrix_inverse_is_exact(self):
+        key = generate_key(seed=1)
+        assert mat_mul(key.matrix, key.matrix_inverse) == identity(key.length)
+
+    def test_payload_and_noise_positions_partition(self):
+        key = generate_key(seed=2)
+        all_positions = set(key.payload_positions) | set(key.noise_positions)
+        assert all_positions == set(range(key.length))
+        assert len(set(key.payload_positions)) == 2
+
+    def test_ambiguity_row_contract(self):
+        # r . x == u . noise(M @ x) for arbitrary x.
+        key = generate_key(seed=3)
+        for x in [(1, 0, 0, 0), (0, 1, 0, 0), (3, -7, 2, 9)]:
+            image = mat_vec(key.matrix, x)
+            noise = key.noise_projection(image)
+            assert dot(key.ambiguity_row, x) == dot(key.u, noise)
+
+    def test_ambiguity_row_ends_nonzero(self):
+        # Both ambiguity variants divide by an end of r.
+        for seed in range(10):
+            key = generate_key(seed=seed)
+            assert key.ambiguity_row[0] != 0
+            assert key.ambiguity_row[-1] != 0
+
+    def test_too_short_rejected(self):
+        with pytest.raises(KeyGenerationError):
+            generate_key(length=MIN_LENGTH - 1, seed=0)
+
+    def test_deterministic_with_seed(self):
+        assert generate_key(seed=11) == generate_key(seed=11)
+
+    def test_different_seeds_differ(self):
+        assert generate_key(seed=11) != generate_key(seed=12)
+
+
+class TestSecretKeyValidation:
+    def _fields(self, key):
+        return dict(
+            length=key.length,
+            payload_positions=key.payload_positions,
+            noise_positions=key.noise_positions,
+            u=key.u,
+            matrix=key.matrix,
+            matrix_inverse=key.matrix_inverse,
+            ambiguity_row=key.ambiguity_row,
+        )
+
+    def test_duplicate_payload_positions_rejected(self):
+        fields = self._fields(generate_key(seed=4))
+        fields["payload_positions"] = (1, 1)
+        with pytest.raises(KeyGenerationError):
+            SecretKey(**fields)
+
+    def test_inconsistent_noise_positions_rejected(self):
+        fields = self._fields(generate_key(seed=4))
+        fields["noise_positions"] = tuple(reversed(fields["noise_positions"]))
+        if len(fields["noise_positions"]) > 1:
+            with pytest.raises(KeyGenerationError):
+                SecretKey(**fields)
+
+    def test_zero_u_rejected(self):
+        fields = self._fields(generate_key(seed=4))
+        fields["u"] = (0,) * (fields["length"] - 2)
+        with pytest.raises(KeyGenerationError):
+            SecretKey(**fields)
+
+
+class TestAssemble:
+    def test_assemble_places_contents(self):
+        key = generate_key(seed=5)
+        p0, p1 = key.payload_positions
+        vector = key.assemble(10, -3, tuple(range(1, key.length - 1)))
+        assert vector[p0] == 10
+        assert vector[p1] == -3
+        assert key.noise_projection(vector) == tuple(range(1, key.length - 1))
+
+    def test_assemble_wrong_noise_length(self):
+        key = generate_key(seed=5)
+        with pytest.raises(ValueError):
+            key.assemble(1, 2, (1,) * (key.length - 1))
+
+    def test_payload_projection_inverts_assemble(self):
+        key = generate_key(seed=6)
+        vector = key.assemble(42, -17, (0,) * (key.length - 2))
+        assert key.payload_projection(vector) == (42, -17)

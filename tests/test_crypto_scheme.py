@@ -1,0 +1,164 @@
+"""Unit tests for the encryption scheme (paper, Section 3)."""
+
+import random
+
+import pytest
+
+from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
+from repro.crypto.key import generate_key
+from repro.crypto.scheme import Encryptor, compare
+from repro.errors import DecryptionError, EncryptionError
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value", [0, 1, -1, 42, -42, 2 ** 31 - 1, -(2 ** 31), 10 ** 18]
+    )
+    def test_round_trip(self, encryptor, value):
+        assert encryptor.decrypt_value(encryptor.encrypt_value(value)) == value
+
+    def test_ciphertexts_randomised(self, encryptor):
+        first = encryptor.encrypt_value(7)
+        second = encryptor.encrypt_value(7)
+        assert first.numerators != second.numerators
+
+    def test_ciphertext_is_integral(self, encryptor):
+        ciphertext = encryptor.encrypt_value(123)
+        assert all(isinstance(x, int) for x in ciphertext.numerators)
+        assert ciphertext.denominator == 1
+
+    def test_multiplier_is_odd_positive(self, encryptor):
+        for value in (5, -5, 0):
+            decrypted = encryptor.decrypt_row(encryptor.encrypt_value(value))
+            assert decrypted.is_real
+            assert decrypted.multiplier > 0
+            assert decrypted.multiplier.denominator == 1
+            assert decrypted.multiplier.numerator % 2 == 1
+
+
+class TestComparisons:
+    def test_sign_exact(self, encryptor):
+        cases = [(5, 3, 1), (3, 5, -1), (5, 5, 0), (-2, -3, 1), (0, 0, 0)]
+        for value, bound, expected in cases:
+            sign = compare(
+                encryptor.encrypt_bound(bound), encryptor.encrypt_value(value)
+            )
+            assert sign == expected, (value, bound)
+
+    def test_adjacent_values_distinguished(self, encryptor):
+        # Exactness guarantee: gaps of one are never misclassified.
+        base = 2 ** 31 - 2
+        value = encryptor.encrypt_value(base)
+        assert compare(encryptor.encrypt_bound(base - 1), value) == 1
+        assert compare(encryptor.encrypt_bound(base), value) == 0
+        assert compare(encryptor.encrypt_bound(base + 1), value) == -1
+
+    def test_randomised_exhaustive(self, encryptor, rng):
+        for _ in range(200):
+            value = rng.randrange(-(2 ** 33), 2 ** 33)
+            bound = rng.randrange(-(2 ** 33), 2 ** 33)
+            sign = compare(
+                encryptor.encrypt_bound(bound), encryptor.encrypt_value(value)
+            )
+            assert sign == (value > bound) - (value < bound)
+
+    def test_norm_is_obscured(self, encryptor):
+        # The product equals xi * (v - b); since xi is secret and
+        # random, equal differences yield different products.
+        bound = encryptor.encrypt_bound(0)
+        products = {
+            bound.product_sign(encryptor.encrypt_value(10)) for _ in range(4)
+        }
+        assert products == {1}
+        raw = {
+            sum(
+                a * b
+                for a, b in zip(bound.vector, encryptor.encrypt_value(10).numerators)
+            )
+            for _ in range(8)
+        }
+        assert len(raw) > 1
+
+    @pytest.mark.parametrize("length", [3, 4, 5, 8, 16])
+    def test_all_key_lengths(self, length):
+        encryptor = Encryptor(generate_key(length=length, seed=length), seed=1)
+        for value, bound in [(10, 3), (3, 10), (7, 7)]:
+            sign = compare(
+                encryptor.encrypt_bound(bound), encryptor.encrypt_value(value)
+            )
+            assert sign == (value > bound) - (value < bound)
+
+
+class TestDecryption:
+    def test_decrypt_value_on_fake_raises(self, encryptor):
+        ambiguous = encryptor.encrypt_value_ambiguous(9)
+        prefix, suffix = ambiguous.interpretations()
+        fake = prefix if not encryptor.decrypt_row(prefix).is_real else suffix
+        with pytest.raises(DecryptionError):
+            encryptor.decrypt_value(fake)
+
+    def test_wrong_key_misdecrypts(self, encryptor):
+        other = Encryptor(generate_key(length=4, seed=999), seed=1)
+        ciphertext = encryptor.encrypt_value(1234)
+        decrypted = other.decrypt_row(ciphertext)
+        # Wrong key: either flagged fake or decodes to a wrong value.
+        assert not decrypted.is_real or decrypted.value != 1234
+
+    def test_pre_image_round_trip(self, encryptor):
+        ciphertext = encryptor.encrypt_value(77)
+        pre_image, denominator = encryptor.pre_image(ciphertext)
+        payload0, payload1 = encryptor.key.payload_projection(pre_image)
+        assert payload0 == -77 * payload1
+        assert denominator == 1
+
+    def test_bound_pre_image_round_trip(self, encryptor):
+        ciphertext = encryptor.encrypt_bound(55)
+        pre_image = encryptor.bound_pre_image(ciphertext)
+        payload0, payload1 = encryptor.key.payload_projection(pre_image)
+        assert (payload0, payload1) == (1, 55)
+
+
+class TestCiphertextContainers:
+    def test_value_ciphertext_rejects_bad_denominator(self):
+        with pytest.raises(ValueError):
+            ValueCiphertext((1, 2, 3, 4), 0)
+        with pytest.raises(ValueError):
+            ValueCiphertext((1, 2, 3, 4), -2)
+
+    def test_lengths(self, encryptor):
+        assert encryptor.encrypt_value(1).length == encryptor.key.length
+        assert encryptor.encrypt_bound(1).length == encryptor.key.length
+
+    def test_product_sign_values(self, encryptor):
+        bound = encryptor.encrypt_bound(10)
+        assert bound.product_sign(encryptor.encrypt_value(11)) == 1
+        assert bound.product_sign(encryptor.encrypt_value(10)) == 0
+        assert bound.product_sign(encryptor.encrypt_value(9)) == -1
+
+
+class TestEncryptorConfiguration:
+    def test_invalid_multiplier_bound(self, key4):
+        with pytest.raises(EncryptionError):
+            Encryptor(key4, multiplier_bound=0)
+
+    def test_deterministic_with_seed(self, key4):
+        a = Encryptor(key4, seed=5).encrypt_value(3)
+        b = Encryptor(key4, seed=5).encrypt_value(3)
+        assert a == b
+
+    def test_shared_rng(self, key4):
+        rng = random.Random(9)
+        encryptor = Encryptor(key4, rng=rng)
+        encryptor.encrypt_value(1)  # consumes from the caller's rng
+        assert rng.random() != random.Random(9).random()
+
+    def test_lambda_never_zero(self, key4):
+        encryptor = Encryptor(key4, seed=0, multiplier_bound=1)
+        draws = {encryptor._draw_nonzero() for _ in range(50)}
+        assert draws <= {-1, 1}
+        assert 0 not in draws
+
+    def test_odd_multiplier_distribution(self, key4):
+        encryptor = Encryptor(key4, seed=0, multiplier_bound=8)
+        draws = {encryptor._draw_odd_multiplier() for _ in range(200)}
+        assert draws == {1, 3, 5, 7}

@@ -1,0 +1,190 @@
+"""Unit tests for key/ciphertext serialization."""
+
+import json
+
+import pytest
+
+from repro.crypto.serialization import (
+    ciphertext_from_dict,
+    ciphertext_to_dict,
+    dumps,
+    key_from_dict,
+    key_to_dict,
+    loads,
+)
+from repro.errors import SerializationError
+
+
+class TestKeyRoundTrip:
+    def test_round_trip(self, key4):
+        assert key_from_dict(key_to_dict(key4)) == key4
+
+    def test_json_round_trip(self, key4):
+        assert loads(dumps(key4)) == key4
+
+    def test_big_key_round_trip(self, key8):
+        assert loads(dumps(key8)) == key8
+
+    def test_wrong_kind_rejected(self, key4):
+        data = key_to_dict(key4)
+        data["kind"] = "something_else"
+        with pytest.raises(SerializationError):
+            key_from_dict(data)
+
+    def test_wrong_version_rejected(self, key4):
+        data = key_to_dict(key4)
+        data["version"] = 99
+        with pytest.raises(SerializationError):
+            key_from_dict(data)
+
+    def test_missing_field_rejected(self, key4):
+        data = key_to_dict(key4)
+        del data["matrix"]
+        with pytest.raises(SerializationError):
+            key_from_dict(data)
+
+
+class TestCiphertextRoundTrip:
+    def test_value_round_trip(self, encryptor):
+        ciphertext = encryptor.encrypt_value(12345)
+        assert loads(dumps(ciphertext)) == ciphertext
+
+    def test_bound_round_trip(self, encryptor):
+        ciphertext = encryptor.encrypt_bound(-9876)
+        assert loads(dumps(ciphertext)) == ciphertext
+
+    def test_ambiguous_round_trip(self, encryptor):
+        ciphertext = encryptor.encrypt_value_ambiguous(77)
+        assert loads(dumps(ciphertext)) == ciphertext
+
+    def test_decrypts_after_round_trip(self, encryptor):
+        ciphertext = loads(dumps(encryptor.encrypt_value(31337)))
+        assert encryptor.decrypt_value(ciphertext) == 31337
+
+    def test_big_integers_survive(self, encryptor):
+        # Python's json carries arbitrary-precision ints losslessly.
+        ciphertext = encryptor.encrypt_value(10 ** 30)
+        text = dumps(ciphertext)
+        assert loads(text) == ciphertext
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            ciphertext_from_dict({"kind": "mystery", "version": 1})
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(SerializationError):
+            ciphertext_from_dict({"kind": "value", "version": 1})
+
+    def test_unserializable_object_rejected(self):
+        with pytest.raises(SerializationError):
+            ciphertext_to_dict(object())
+
+
+class TestLoads:
+    def test_invalid_json(self):
+        with pytest.raises(SerializationError):
+            loads("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(SerializationError):
+            loads("[1, 2, 3]")
+
+    def test_wire_format_is_json(self, encryptor):
+        payload = json.loads(dumps(encryptor.encrypt_value(5)))
+        assert payload["kind"] == "value"
+        assert payload["version"] == 1
+
+
+class TestProtocolWireFormat:
+    def test_query_round_trip(self):
+        import json
+
+        from repro.core.client import TrustedClient
+        from repro.crypto.serialization import query_from_dict, query_to_dict
+
+        client = TrustedClient(seed=9)
+        query = client.make_query(3, 9, low_inclusive=False, pivots=(5, 7))
+        restored = query_from_dict(
+            json.loads(json.dumps(query_to_dict(query)))
+        )
+        assert restored == query
+
+    def test_one_sided_query_round_trip(self):
+        from repro.core.client import TrustedClient
+        from repro.crypto.serialization import query_from_dict, query_to_dict
+
+        client = TrustedClient(seed=9)
+        query = client.make_query(high=9)
+        restored = query_from_dict(query_to_dict(query))
+        assert restored.low is None
+        assert restored == query
+
+    def test_response_round_trip(self):
+        import json
+
+        import numpy as np
+
+        from repro.core.client import TrustedClient
+        from repro.core.server import SecureServer
+        from repro.crypto.serialization import (
+            response_from_dict,
+            response_to_dict,
+        )
+
+        client = TrustedClient(seed=10)
+        rows, ids = client.encrypt_dataset([4, 8, 15])
+        server = SecureServer(rows, ids)
+        response = server.execute(client.make_query(5, 20))
+        restored = response_from_dict(
+            json.loads(json.dumps(response_to_dict(response)))
+        )
+        assert np.array_equal(restored.row_ids, response.row_ids)
+        values = sorted(
+            client.encryptor.decrypt_value(row) for row in restored.rows
+        )
+        assert values == [8, 15]
+
+    def test_full_protocol_over_the_wire(self):
+        import json
+
+        from repro.core.client import TrustedClient
+        from repro.core.server import SecureServer
+        from repro.crypto.serialization import (
+            query_from_dict,
+            query_to_dict,
+            response_from_dict,
+            response_to_dict,
+        )
+
+        client = TrustedClient(seed=11, ambiguity=True)
+        rows, ids = client.encrypt_dataset([10, 20, 30, 40])
+        server = SecureServer(rows, ids)
+        wire_query = json.dumps(query_to_dict(client.make_query(15, 35)))
+        response = server.execute(query_from_dict(json.loads(wire_query)))
+        wire_response = json.dumps(response_to_dict(response))
+        restored = response_from_dict(json.loads(wire_response))
+        result = client.decrypt_results(restored.row_ids, restored.rows)
+        assert sorted(result.values.tolist()) == [20, 30]
+
+    def test_query_wrong_kind_rejected(self):
+        from repro.crypto.serialization import query_from_dict
+
+        with pytest.raises(SerializationError):
+            query_from_dict({"kind": "response", "version": 1})
+
+    def test_response_bound_rows_rejected(self):
+        from repro.core.client import TrustedClient
+        from repro.crypto.serialization import (
+            ciphertext_to_dict,
+            response_from_dict,
+        )
+
+        client = TrustedClient(seed=12)
+        bad = {
+            "kind": "response",
+            "version": 1,
+            "row_ids": [0],
+            "rows": [ciphertext_to_dict(client.encryptor.encrypt_bound(1))],
+        }
+        with pytest.raises(SerializationError):
+            response_from_dict(bad)

@@ -1,0 +1,157 @@
+"""Unit tests for steered counterfeits (the Figure 13a mechanism)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.crypto.key import generate_key
+from repro.crypto.scheme import (
+    Encryptor,
+    generate_steerable_key,
+    probe_steerable,
+)
+from repro.errors import AmbiguityError, KeyGenerationError
+from repro.linalg.intmat import mat_vec
+
+DOMAIN = (0, 2 ** 31)
+
+
+@pytest.fixture(scope="module")
+def steerable_key():
+    return generate_steerable_key(4, DOMAIN, seed=1)
+
+
+@pytest.fixture()
+def steer_encryptor(steerable_key):
+    return Encryptor(steerable_key, seed=2)
+
+
+def fake_pseudo_value(encryptor, ambiguous):
+    """The counterfeit branch's pseudo-value, via the key."""
+    key = encryptor.key
+    rows = ambiguous.interpretations()
+    fake = next(
+        row for row in rows if not encryptor.decrypt_row(row).is_real
+    )
+    pre_image = mat_vec(key.matrix, fake.numerators)
+    payload0, payload1 = key.payload_projection(pre_image)
+    return Fraction(payload0, -payload1)
+
+
+class TestSteering:
+    def test_pinned_counterfeit(self, steer_encryptor):
+        ambiguous = steer_encryptor.encrypt_value_ambiguous(
+            1000, fake_value=777
+        )
+        assert fake_pseudo_value(steer_encryptor, ambiguous) == 777
+
+    def test_real_branch_unaffected(self, steer_encryptor):
+        ambiguous = steer_encryptor.encrypt_value_ambiguous(
+            123456, fake_value=654321
+        )
+        real = next(
+            row
+            for row in ambiguous.interpretations()
+            if steer_encryptor.decrypt_row(row).is_real
+        )
+        assert steer_encryptor.decrypt_value(real) == 123456
+
+    def test_domain_counterfeits_land_in_domain(self, steer_encryptor):
+        for value in (5, 10 ** 6, 2 ** 31 - 9):
+            ambiguous = steer_encryptor.encrypt_value_ambiguous(
+                value, fake_domain=DOMAIN
+            )
+            pseudo = fake_pseudo_value(steer_encryptor, ambiguous)
+            assert DOMAIN[0] <= pseudo <= DOMAIN[1]
+        assert steer_encryptor.steering_fallbacks == 0
+
+    def test_fake_multiplier_positive_not_odd_integer(self, steer_encryptor):
+        ambiguous = steer_encryptor.encrypt_value_ambiguous(
+            42, fake_domain=DOMAIN
+        )
+        fake = next(
+            steer_encryptor.decrypt_row(row)
+            for row in ambiguous.interpretations()
+            if not steer_encryptor.decrypt_row(row).is_real
+        )
+        assert fake.multiplier > 0
+        is_odd_integer = (
+            fake.multiplier.denominator == 1
+            and fake.multiplier.numerator % 2 == 1
+        )
+        assert not is_odd_integer
+
+    def test_counterfeits_vary(self, steer_encryptor):
+        pseudos = {
+            fake_pseudo_value(
+                steer_encryptor,
+                steer_encryptor.encrypt_value_ambiguous(9, fake_domain=DOMAIN),
+            )
+            for _ in range(8)
+        }
+        assert len(pseudos) > 1
+
+    def test_negative_domain(self, steer_encryptor):
+        domain = (-(10 ** 6), 0)
+        ambiguous = steer_encryptor.encrypt_value_ambiguous(
+            -500, fake_domain=domain
+        )
+        pseudo = fake_pseudo_value(steer_encryptor, ambiguous)
+        assert domain[0] <= pseudo <= domain[1]
+
+
+class TestSteerableKeyGeneration:
+    def test_probe_accepts_generated_key(self, steerable_key):
+        assert probe_steerable(steerable_key, DOMAIN, seed=0)
+
+    def test_probe_rejects_short_key(self):
+        assert not probe_steerable(generate_key(length=3, seed=0), DOMAIN)
+
+    def test_generated_key_has_requested_length(self):
+        key = generate_steerable_key(6, DOMAIN, seed=3)
+        assert key.length == 6
+
+    def test_impossible_budget_raises(self, monkeypatch):
+        import repro.crypto.scheme as scheme_module
+
+        monkeypatch.setattr(
+            scheme_module, "probe_steerable", lambda *a, **k: False
+        )
+        with pytest.raises(KeyGenerationError):
+            generate_steerable_key(4, DOMAIN, seed=0, max_attempts=3)
+
+
+class TestSteeringFallback:
+    def test_unreachable_domain_falls_back(self):
+        # Find a key whose counterfeit range misses the huge positive
+        # domain (about 15% of random keys); falling back must still
+        # produce a valid two-faced ciphertext and bump the counter.
+        for seed in range(40):
+            key = generate_key(4, seed=seed)
+            if probe_steerable(key, DOMAIN, seed=seed):
+                continue
+            encryptor = Encryptor(key, seed=seed)
+            ambiguous = encryptor.encrypt_value_ambiguous(
+                12345, fake_domain=DOMAIN
+            )
+            flags = [
+                encryptor.decrypt_row(row).is_real
+                for row in ambiguous.interpretations()
+            ]
+            assert sum(flags) == 1
+            assert encryptor.steering_fallbacks >= 1
+            return
+        pytest.skip("no non-steerable key in the seed range")
+
+    def test_strict_fake_value_raises_when_unreachable(self):
+        for seed in range(40):
+            key = generate_key(4, seed=seed)
+            if probe_steerable(key, DOMAIN, seed=seed):
+                continue
+            encryptor = Encryptor(key, seed=seed)
+            with pytest.raises(AmbiguityError):
+                encryptor.encrypt_value_ambiguous(
+                    12345, fake_value=2 ** 30, max_attempts=4
+                )
+            return
+        pytest.skip("no non-steerable key in the seed range")

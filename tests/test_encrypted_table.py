@@ -1,0 +1,123 @@
+"""Unit tests for multi-column encrypted tables."""
+
+import numpy as np
+import pytest
+
+from repro.core.encrypted_table import OutsourcedTable, SecureTableServer
+from repro.errors import QueryError, UpdateError
+
+PRICES = np.array([50, 10, 80, 30, 60, 20, 90, 40, 70, 100])
+VOLUMES = np.array([5, 1, 8, 3, 6, 2, 9, 4, 7, 10])
+
+
+@pytest.fixture(scope="module")
+def table():
+    return OutsourcedTable(
+        {"price": PRICES, "volume": VOLUMES}, seed=31
+    )
+
+
+@pytest.fixture(scope="module")
+def ambiguous_table():
+    return OutsourcedTable(
+        {"price": PRICES, "volume": VOLUMES}, ambiguity=True, seed=31
+    )
+
+
+class TestSelect:
+    def test_select_matches_reference(self, table):
+        selection = table.select("price", 25, 65)
+        expected = np.flatnonzero((PRICES >= 25) & (PRICES <= 65))
+        assert np.array_equal(np.sort(selection.logical_ids), expected)
+        assert sorted(selection.values.tolist()) == sorted(
+            PRICES[expected].tolist()
+        )
+
+    def test_select_other_column(self, table):
+        selection = table.select("volume", 3, 5)
+        expected = np.flatnonzero((VOLUMES >= 3) & (VOLUMES <= 5))
+        assert np.array_equal(np.sort(selection.logical_ids), expected)
+
+    def test_unknown_column(self, table):
+        with pytest.raises(QueryError):
+            table.select("nope", 0, 1)
+
+    def test_columns_crack_independently(self, table):
+        table.select("price", 25, 65)
+        price_tree = table.server.engine("price").tree
+        volume_tree = table.server.engine("volume").tree
+        assert len(price_tree) >= 1
+        # Note: the volume tree may have grown from other tests in this
+        # module, but price cracks never mutate the volume column.
+        volume_ids_before = table.server.engine("volume").column.row_ids.copy()
+        table.select("price", 40, 90)
+        assert np.array_equal(
+            table.server.engine("volume").column.row_ids, volume_ids_before
+        )
+
+
+class TestFetch:
+    def test_fetch_aligned(self, table):
+        selection = table.select("price", 25, 65)
+        volumes = table.fetch("volume", selection.logical_ids)
+        assert np.array_equal(volumes, VOLUMES[selection.logical_ids])
+
+    def test_fetch_after_both_columns_cracked(self, table):
+        table.select("volume", 2, 8)
+        selection = table.select("price", 10, 100)
+        volumes = table.fetch("volume", selection.logical_ids)
+        assert np.array_equal(volumes, VOLUMES[selection.logical_ids])
+
+    def test_select_tuples(self, table):
+        out = table.select_tuples("price", 25, 65, fetch_columns=["volume"])
+        assert np.array_equal(out["volume"], VOLUMES[out["logical_ids"]])
+        assert np.array_equal(out["price"], PRICES[out["logical_ids"]])
+
+    def test_round_trip_accounting(self):
+        fresh = OutsourcedTable({"a": [1, 2, 3], "b": [4, 5, 6]}, seed=1)
+        fresh.select_tuples("a", 1, 2, fetch_columns=["b"])
+        assert fresh.round_trips == 2
+
+
+class TestAmbiguity:
+    def test_select_filters_fakes(self, ambiguous_table):
+        selection = ambiguous_table.select("price", 25, 65)
+        expected = np.flatnonzero((PRICES >= 25) & (PRICES <= 65))
+        assert np.array_equal(np.sort(selection.logical_ids), expected)
+
+    def test_fetch_resolves_real_face_per_column(self, ambiguous_table):
+        selection = ambiguous_table.select("price", 10, 100)
+        volumes = ambiguous_table.fetch("volume", selection.logical_ids)
+        assert np.array_equal(volumes, VOLUMES[selection.logical_ids])
+
+    def test_real_faces_independent_across_columns(self, ambiguous_table):
+        # With independent coins, at least one logical row should have
+        # different real faces in the two columns (probability 2^-10
+        # of failure).
+        client = ambiguous_table.client
+        server = ambiguous_table.server
+        differing = 0
+        for logical in range(len(PRICES)):
+            faces = {}
+            for name in ("price", "volume"):
+                column = server.engine(name).column
+                first = column.row(column.physical_index_of(2 * logical))
+                faces[name] = client.encryptor.decrypt_row(first).is_real
+            if faces["price"] != faces["volume"]:
+                differing += 1
+        assert differing > 0
+
+
+class TestValidation:
+    def test_mismatched_lengths(self):
+        with pytest.raises(UpdateError):
+            OutsourcedTable({"a": [1, 2], "b": [1]}, seed=1)
+
+    def test_empty_table(self):
+        with pytest.raises(UpdateError):
+            OutsourcedTable({}, seed=1)
+
+    def test_server_validates_columns(self, encryptor):
+        rows = [encryptor.encrypt_value(v) for v in (1, 2)]
+        with pytest.raises(UpdateError):
+            SecureTableServer({"a": rows, "b": rows[:1]}, [0, 1])

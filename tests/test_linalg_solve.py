@@ -1,0 +1,80 @@
+"""Unit tests for the exact rational solver."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.linalg.solve import solve_affine
+
+
+def F(x):
+    return Fraction(x)
+
+
+class TestSolveAffine:
+    def test_unique_solution(self):
+        particular, basis = solve_affine(
+            [[F(2), F(0)], [F(0), F(3)]], [F(4), F(9)]
+        )
+        assert particular == [F(2), F(3)]
+        assert basis == []
+
+    def test_inconsistent_returns_none(self):
+        assert solve_affine([[F(1), F(1)], [F(1), F(1)]], [F(1), F(2)]) is None
+
+    def test_underdetermined_nullspace(self):
+        particular, basis = solve_affine([[F(1), F(1), F(0)]], [F(2)])
+        # Particular solves the equation.
+        assert particular[0] + particular[1] == 2
+        assert len(basis) == 2
+        for vector in basis:
+            assert vector[0] + vector[1] == 0
+
+    def test_nullspace_vectors_satisfy_homogeneous_system(self):
+        coefficients = [
+            [F(1), F(2), F(3), F(4)],
+            [F(0), F(1), F(1), F(0)],
+        ]
+        particular, basis = solve_affine(coefficients, [F(5), F(1)])
+        for vector in basis:
+            for row in coefficients:
+                assert sum(c * x for c, x in zip(row, vector)) == 0
+        for row, rhs in zip(coefficients, [F(5), F(1)]):
+            assert sum(c * x for c, x in zip(row, particular)) == rhs
+
+    def test_homogeneous_system(self):
+        particular, basis = solve_affine(
+            [[F(1), F(-1)]], [F(0)]
+        )
+        assert particular == [F(0), F(0)]
+        assert len(basis) == 1
+        assert basis[0][0] == basis[0][1]
+
+    def test_redundant_rows_are_fine(self):
+        particular, basis = solve_affine(
+            [[F(1), F(1)], [F(2), F(2)]], [F(3), F(6)]
+        )
+        assert particular[0] + particular[1] == 3
+        assert len(basis) == 1
+
+    def test_zero_columns_become_free(self):
+        particular, basis = solve_affine([[F(0), F(1)]], [F(7)])
+        assert particular == [F(0), F(7)]
+        assert len(basis) == 1
+        assert basis[0][1] == 0
+
+    def test_exact_fractions(self):
+        particular, basis = solve_affine([[F(3)]], [F(1)])
+        assert particular == [Fraction(1, 3)]
+        assert basis == []
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            solve_affine([[F(1), F(2)], [F(1)]], [F(0), F(0)])
+
+    def test_more_rows_than_unknowns_consistent(self):
+        particular, basis = solve_affine(
+            [[F(1)], [F(2)], [F(3)]], [F(2), F(4), F(6)]
+        )
+        assert particular == [F(2)]
+        assert basis == []

@@ -1,0 +1,96 @@
+"""Unit tests for the structured matrices of the paper's Table 1."""
+
+import pytest
+
+from repro.linalg.intmat import mat_mul, mat_transpose, mat_vec
+from repro.linalg.structured import (
+    apply_matrix,
+    complementary_permutation_matrix,
+    expansion_matrix,
+    permutation_matrix,
+    shift_matrix,
+)
+
+
+class TestExpansion:
+    def test_extends_with_zeros(self):
+        e = expansion_matrix(5, 2)
+        assert mat_vec(e, (7, -3)) == (7, -3, 0, 0, 0)
+
+    def test_square_is_identity(self):
+        e = expansion_matrix(3, 3)
+        assert mat_vec(e, (1, 2, 3)) == (1, 2, 3)
+
+    def test_zero_width(self):
+        e = expansion_matrix(2, 0)
+        assert e == ((), ())
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            expansion_matrix(2, 3)
+
+
+class TestPermutation:
+    def test_routes_to_targets(self):
+        p = permutation_matrix(4, (2, 0))
+        # coordinate 0 -> position 2, coordinate 1 -> position 0.
+        assert mat_vec(p, (9, 5, 0, 0)) == (5, 0, 9, 0)
+
+    def test_duplicate_targets_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_matrix(3, (1, 1))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            permutation_matrix(3, (0, 3))
+
+    def test_complementary_no_intersection(self):
+        # Paper: P and Pc have no permutation intersections.  With the
+        # target-routing convention the identity reads P^T @ Pc == 0
+        # (disjoint output positions).
+        p = permutation_matrix(5, (1, 3))
+        pc = complementary_permutation_matrix(5, (1, 3))
+        product = mat_mul(mat_transpose(p), pc)
+        assert all(all(x == 0 for x in row) for row in product)
+
+    def test_complementary_outputs_disjoint(self):
+        p = permutation_matrix(5, (1, 3))
+        pc = complementary_permutation_matrix(5, (1, 3))
+        payload_image = mat_vec(p, (1, 1, 0, 0, 0))
+        noise_image = mat_vec(pc, (1, 1, 1, 0, 0))
+        assert all(a * b == 0 for a, b in zip(payload_image, noise_image))
+
+    def test_complementary_covers_noise_positions(self):
+        pc = complementary_permutation_matrix(5, (1, 3))
+        routed = mat_vec(pc, (7, 8, 9, 0, 0))
+        assert routed == (7, 0, 8, 0, 9)
+
+
+class TestShift:
+    def test_paper_example_n3(self):
+        # The paper's S for n = 3.
+        assert shift_matrix(3) == ((0, 0, 1), (1, 0, 0), (0, 1, 0))
+
+    def test_shifts_down(self):
+        s = shift_matrix(4)
+        assert mat_vec(s, (1, 2, 3, 4)) == (4, 1, 2, 3)
+
+    def test_transpose_shifts_up(self):
+        s = shift_matrix(4)
+        assert mat_vec(mat_transpose(s), (1, 2, 3, 4)) == (2, 3, 4, 1)
+
+    def test_n_rotations_is_identity(self):
+        s = shift_matrix(5)
+        x = (1, 2, 3, 4, 5)
+        for _ in range(5):
+            x = mat_vec(s, x)
+        assert x == (1, 2, 3, 4, 5)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            shift_matrix(0)
+
+
+def test_apply_matrix_alias():
+    e = expansion_matrix(3, 2)
+    assert apply_matrix(e, (1, 2)) == mat_vec(e, (1, 2))

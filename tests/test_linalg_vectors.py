@@ -1,0 +1,99 @@
+"""Unit tests for exact integer vector operations."""
+
+import random
+
+import pytest
+
+from repro.linalg.vectors import (
+    dot,
+    is_zero,
+    orthogonal_vector,
+    scale,
+    vec_add,
+    vec_sub,
+)
+
+
+class TestDot:
+    def test_basic(self):
+        assert dot((1, 2, 3), (4, 5, 6)) == 32
+
+    def test_empty(self):
+        assert dot((), ()) == 0
+
+    def test_negative_components(self):
+        assert dot((-1, 2), (3, -4)) == -11
+
+    def test_big_integers_exact(self):
+        a = (10 ** 40, -(10 ** 39))
+        b = (10 ** 41, 10 ** 38)
+        assert dot(a, b) == 10 ** 81 - 10 ** 77
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dot((1, 2), (1, 2, 3))
+
+
+class TestArithmetic:
+    def test_scale(self):
+        assert scale((1, -2, 3), -3) == (-3, 6, -9)
+
+    def test_scale_zero(self):
+        assert scale((5, 7), 0) == (0, 0)
+
+    def test_add(self):
+        assert vec_add((1, 2), (3, 4)) == (4, 6)
+
+    def test_sub(self):
+        assert vec_sub((1, 2), (3, 5)) == (-2, -3)
+
+    def test_add_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vec_add((1,), (1, 2))
+
+    def test_sub_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vec_sub((1,), (1, 2))
+
+    def test_is_zero(self):
+        assert is_zero((0, 0, 0))
+        assert not is_zero((0, 1, 0))
+        assert is_zero(())
+
+
+class TestOrthogonalVector:
+    def test_orthogonality(self):
+        rng = random.Random(0)
+        for _ in range(50):
+            dim = rng.randint(2, 8)
+            u = tuple(rng.randint(-100, 100) for _ in range(dim))
+            if is_zero(u):
+                continue
+            n = orthogonal_vector(u, rng)
+            assert dot(u, n) == 0
+            assert not is_zero(n)
+
+    def test_dimension_one_returns_zero_vector(self):
+        rng = random.Random(0)
+        assert orthogonal_vector((5,), rng) == (0,)
+
+    def test_zero_direction_rejected(self):
+        with pytest.raises(ValueError):
+            orthogonal_vector((0, 0), random.Random(0))
+
+    def test_fallback_on_exhausted_attempts(self):
+        # With max_attempts=0 the projection loop never runs, so the
+        # deterministic coordinate-swap fallback must fire.
+        rng = random.Random(0)
+        u = (3, 5)
+        n = orthogonal_vector(u, rng, max_attempts=0)
+        assert dot(u, n) == 0
+        assert not is_zero(n)
+
+    def test_respects_magnitude(self):
+        rng = random.Random(3)
+        u = (1, 2, 3)
+        n = orthogonal_vector(u, rng, magnitude=4)
+        # Components are projections of draws in [-4, 4]: bounded by
+        # (u.u)*4 + |u.w|*|u| <= 14*4 + 24*3.
+        assert all(abs(x) <= 14 * 4 + 24 * 3 for x in n)

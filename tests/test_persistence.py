@@ -1,0 +1,145 @@
+"""Unit tests for server-state snapshots and key rotation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import restore_server, snapshot_server
+from repro.core.session import OutsourcedDatabase
+from repro.errors import SerializationError
+
+VALUES = list(np.random.default_rng(14).permutation(300))
+
+
+def warmed_db(**kwargs):
+    db = OutsourcedDatabase(VALUES, seed=15, **kwargs)
+    db.query(50, 120)
+    db.query(200, 260)
+    return db
+
+
+class TestSnapshot:
+    def test_round_trip_preserves_results(self):
+        db = warmed_db()
+        restored = restore_server(snapshot_server(db.server))
+        for low, high in [(0, 100), (50, 120), (130, 290)]:
+            query = db.client.make_query(low, high)
+            original = db.server.execute(db.client.make_query(low, high))
+            recovered = restored.execute(query)
+            assert sorted(map(int, original.row_ids)) == sorted(
+                map(int, recovered.row_ids)
+            )
+
+    def test_restored_index_state(self):
+        db = warmed_db()
+        restored = restore_server(snapshot_server(db.server))
+        assert len(restored.engine.tree) == len(db.server.engine.tree)
+        assert restored.engine.column.row_ids.tolist() == (
+            db.server.engine.column.row_ids.tolist()
+        )
+        restored.engine.check_invariants()
+
+    def test_restored_index_answers_without_recracking(self):
+        db = warmed_db()
+        restored = restore_server(snapshot_server(db.server))
+        restored.execute(db.client.make_query(50, 120))
+        stats = restored.stats_log[-1]
+        assert stats.cracks == 0  # bounds already indexed pre-snapshot
+
+    def test_pending_state_survives(self):
+        db = warmed_db()
+        db.insert(5555)
+        db.delete(3)
+        restored = restore_server(snapshot_server(db.server))
+        assert restored.pending_count == db.server.pending_count
+        response = restored.execute(db.client.make_query(5550, 5560))
+        values = [
+            db.client.encryptor.decrypt_value(row) for row in response.rows
+        ]
+        assert 5555 in values
+
+    def test_accounting_survives(self):
+        db = warmed_db()
+        restored = restore_server(snapshot_server(db.server))
+        assert restored.queries_served == db.server.queries_served
+        assert restored.rows_shipped == db.server.rows_shipped
+
+    def test_json_compatible(self):
+        db = warmed_db()
+        text = json.dumps(snapshot_server(db.server))
+        restored = restore_server(json.loads(text))
+        restored.engine.check_invariants()
+
+    def test_scan_engine_snapshot(self):
+        db = OutsourcedDatabase(VALUES[:50], engine="scan", seed=16)
+        db.query(0, 100)
+        restored = restore_server(snapshot_server(db.server))
+        query = db.client.make_query(0, 100)
+        assert len(restored.execute(query).rows) == len(
+            db.server.execute(db.client.make_query(0, 100)).rows
+        )
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            restore_server({"kind": "something"})
+
+    def test_wrong_version_rejected(self):
+        db = warmed_db()
+        snapshot = snapshot_server(db.server)
+        snapshot["version"] = 99
+        with pytest.raises(SerializationError):
+            restore_server(snapshot)
+
+    def test_truncated_snapshot_rejected(self):
+        db = warmed_db()
+        snapshot = snapshot_server(db.server)
+        del snapshot["rows"]
+        with pytest.raises(SerializationError):
+            restore_server(snapshot)
+
+
+class TestKeyRotation:
+    def test_results_preserved(self):
+        db = warmed_db()
+        before = sorted(db.query(0, 300).values.tolist())
+        db.rotate_key(new_seed=99)
+        after = sorted(db.query(0, 300).values.tolist())
+        assert before == after
+
+    def test_key_actually_changes(self):
+        db = warmed_db()
+        old_key = db.client.key
+        db.rotate_key(new_seed=99)
+        assert db.client.key != old_key
+
+    def test_old_ciphertexts_unreadable_under_new_key(self):
+        db = warmed_db()
+        old_row = db.server.engine.column.row(0)
+        db.rotate_key(new_seed=99)
+        decrypted = db.client.encryptor.decrypt_row(old_row)
+        assert not decrypted.is_real or decrypted.value not in VALUES
+
+    def test_index_restarts_empty(self):
+        db = warmed_db()
+        db.rotate_key(new_seed=99)
+        assert len(db.server.engine.tree) == 0
+
+    def test_rotation_folds_in_updates(self):
+        db = warmed_db()
+        inserted = db.insert(7777)
+        db.delete(0)
+        mapping = db.rotate_key(new_seed=99)
+        values = db.query(-(10 ** 9), 10 ** 9).values.tolist()
+        assert 7777 in values
+        assert VALUES[0] not in values or VALUES.count(VALUES[0]) > 1
+        assert inserted in mapping
+
+    def test_rotation_with_ambiguity(self):
+        db = OutsourcedDatabase(VALUES[:80], ambiguity=True, seed=17)
+        db.query(0, 150)
+        db.rotate_key(new_seed=100)
+        result = db.query(0, 150)
+        expected = sorted(v for v in VALUES[:80] if 0 <= v <= 150)
+        assert sorted(result.values.tolist()) == expected
+        assert db.client.ambiguity

@@ -1,0 +1,65 @@
+"""Unit tests for the SecureScan baseline."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.client import TrustedClient
+from repro.core.encrypted_column import EncryptedColumn
+from repro.core.secure_scan import SecureScan
+
+from conftest import reference_positions
+
+VALUES = list(np.random.default_rng(17).permutation(200))
+
+
+@pytest.fixture(scope="module")
+def client():
+    return TrustedClient(seed=3)
+
+
+@pytest.fixture()
+def scan(client):
+    rows, row_ids = client.encrypt_dataset(VALUES)
+    return SecureScan(EncryptedColumn(rows, row_ids))
+
+
+class TestSecureScan:
+    def test_matches_reference(self, scan, client):
+        rng = random.Random(0)
+        for _ in range(30):
+            low = rng.randrange(0, 180)
+            high = low + rng.randrange(0, 40)
+            row_ids, rows = scan.query(client.make_query(low, high))
+            expected = reference_positions(VALUES, low, high)
+            assert sorted(int(i) for i in row_ids) == sorted(expected.tolist())
+            values = sorted(client.encryptor.decrypt_value(r) for r in rows)
+            assert values == sorted(v for v in VALUES if low <= v <= high)
+
+    def test_never_reorganises(self, scan, client):
+        ids_before = scan.column.row_ids.tolist()
+        for low in (10, 120, 40):
+            scan.query(client.make_query(low, low + 30))
+        assert scan.column.row_ids.tolist() == ids_before
+
+    def test_cost_does_not_decay(self, scan, client):
+        for low in range(0, 100, 5):
+            scan.query(client.make_query(low, low + 10))
+        times = [s.scan_seconds for s in scan.stats_log]
+        # Every query pays the same full-column cost.  Compare medians
+        # of the two halves (single-query maxima jitter under load).
+        assert min(times) > 0
+        first_half = sorted(times[: len(times) // 2])
+        second_half = sorted(times[len(times) // 2:])
+        median_first = first_half[len(first_half) // 2]
+        median_second = second_half[len(second_half) // 2]
+        assert median_second < 10 * median_first
+        assert median_first < 10 * median_second
+
+    def test_stats_record_scan_only(self, scan, client):
+        scan.query(client.make_query(0, 10))
+        stats = scan.stats_log[0]
+        assert stats.crack_seconds == 0
+        assert stats.insert_seconds == 0
+        assert stats.scan_seconds > 0

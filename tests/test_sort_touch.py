@@ -1,0 +1,116 @@
+"""Tests for the sort-on-first-touch hybrid cracking variant."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import resolved_order_fraction
+from repro.cracking.index import AdaptiveIndex
+from repro.cracking.sort_touch import SortTouchAdaptiveIndex
+
+from conftest import reference_positions
+
+VALUES = np.random.default_rng(71).permutation(3000).astype(np.int64)
+
+
+class TestCorrectness:
+    def test_matches_reference(self):
+        index = SortTouchAdaptiveIndex(VALUES, sort_threshold=256)
+        rng = random.Random(0)
+        for _ in range(200):
+            low = rng.randrange(0, 2900)
+            high = low + rng.randrange(0, 150)
+            low_inclusive = rng.random() < 0.5
+            high_inclusive = rng.random() < 0.5
+            got = np.sort(
+                index.query(low, high, low_inclusive, high_inclusive)
+            )
+            expected = reference_positions(
+                VALUES, low, high, low_inclusive, high_inclusive
+            )
+            assert np.array_equal(got, expected)
+        index.check_invariants()
+
+    def test_one_sided(self):
+        index = SortTouchAdaptiveIndex(VALUES, sort_threshold=256)
+        got = np.sort(index.query(high=1000))
+        assert np.array_equal(got, reference_positions(VALUES, -10, 1000))
+
+    def test_duplicates(self):
+        index = SortTouchAdaptiveIndex([7, 3, 7, 1, 7], sort_threshold=8)
+        assert len(index.query_point(7)) == 3
+        index.check_invariants()
+
+    def test_whole_column_threshold_sorts_everything_on_first_query(self):
+        index = SortTouchAdaptiveIndex(VALUES, sort_threshold=len(VALUES))
+        index.query(100, 200)
+        assert index.sorted_row_count == len(VALUES)
+        assert np.all(np.diff(index.column.values) >= 0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            SortTouchAdaptiveIndex(VALUES, sort_threshold=1)
+
+
+class TestHybridBehaviour:
+    def test_sorted_pieces_answer_without_movement(self):
+        index = SortTouchAdaptiveIndex(VALUES, sort_threshold=4096)
+        index.query(500, 600)       # sorts everything (one piece <= 4096)
+        before = index.column.values.copy()
+        index.query(700, 800)       # resolved by binary search
+        assert np.array_equal(index.column.values, before)
+        assert index.stats_log[1].cracks == 0
+        assert index.stats_log[1].cracked_rows == 0
+
+    def test_big_pieces_still_crack(self):
+        index = SortTouchAdaptiveIndex(VALUES, sort_threshold=64)
+        index.query(500, 600)
+        assert index.stats_log[0].cracks >= 1
+        assert index.sorted_row_count <= 2 * 64
+
+    def test_sorted_ranges_refine(self):
+        index = SortTouchAdaptiveIndex(VALUES, sort_threshold=len(VALUES))
+        index.query(500, 600)
+        index.query(550, 560)  # inside the sorted range: binary search
+        index.check_invariants()
+        assert index.sorted_row_count == len(VALUES)
+
+    def test_converges_faster_than_plain_cracking_in_hot_region(self):
+        rng = random.Random(1)
+        hot_queries = [
+            (rng.randrange(1000, 1900), rng.randrange(0, 50))
+            for _ in range(60)
+        ]
+        hybrid = SortTouchAdaptiveIndex(VALUES, sort_threshold=1024)
+        plain = AdaptiveIndex(VALUES)
+        for low, span in hot_queries:
+            hybrid.query(low, low + span)
+            plain.query(low, low + span)
+        hybrid_moved = sum(s.cracked_rows for s in hybrid.stats_log[3:])
+        plain_moved = sum(s.cracked_rows for s in plain.stats_log[3:])
+        assert hybrid_moved < plain_moved
+
+    def test_leaks_more_order_than_plain(self):
+        # The security trade the paper's design avoids: sorting pieces
+        # reveals their full internal order.
+        rng = random.Random(2)
+        queries = [(rng.randrange(0, 2900), 30) for _ in range(40)]
+        hybrid = SortTouchAdaptiveIndex(VALUES, sort_threshold=len(VALUES))
+        plain = AdaptiveIndex(VALUES, min_piece_size=128)
+        for low, span in queries:
+            hybrid.query(low, low + span)
+            plain.query(low, low + span)
+        # Sorted intervals are fully ordered -> count them as singleton
+        # pieces for the leakage measure.
+        hybrid_boundaries = set(hybrid.piece_boundaries())
+        for lo, hi in hybrid._sorted_ranges:
+            hybrid_boundaries.update(range(lo, hi + 1))
+        hybrid_leak = resolved_order_fraction(
+            sorted(hybrid_boundaries), len(VALUES)
+        )
+        plain_leak = resolved_order_fraction(
+            plain.piece_boundaries(), len(VALUES)
+        )
+        assert hybrid_leak > plain_leak
+        assert hybrid_leak == 1.0  # whole column got sorted on touch

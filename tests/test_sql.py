@@ -1,0 +1,224 @@
+"""Tests for the SQL front end (lexer, parser, planner, executor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.encrypted_table import OutsourcedTable
+from repro.errors import QueryError
+from repro.sql import Catalog, execute_sql, parse_select
+from repro.sql.ast import ColumnRange
+from repro.sql.lexer import tokenize
+from repro.store.table import Table
+
+PRICE = np.random.default_rng(41).permutation(400).astype(np.int64)
+VOLUME = np.random.default_rng(42).integers(0, 100, 400).astype(np.int64)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    catalog = Catalog()
+    catalog.register("t", Table({"price": PRICE, "volume": VOLUME}))
+    catalog.register(
+        "enc", OutsourcedTable({"price": PRICE, "volume": VOLUME}, seed=3)
+    )
+    return catalog
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize("SELECT a FROM t WHERE a >= -5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "IDENT", "KEYWORD", "IDENT", "KEYWORD",
+                         "IDENT", "OP", "NUMBER"]
+        assert tokens[-1].text == "-5"
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select A from T")
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].text == "A"  # identifiers keep their case
+
+    def test_multi_char_operators(self):
+        tokens = tokenize("a<=b>=c")
+        assert [t.text for t in tokens if t.kind == "OP"] == ["<=", ">="]
+
+    def test_invalid_character(self):
+        with pytest.raises(QueryError):
+            tokenize("SELECT a; DROP TABLE")
+
+
+class TestParser:
+    def test_projection_list(self):
+        statement = parse_select("SELECT a, b FROM t")
+        assert statement.columns == ["a", "b"]
+        assert statement.table == "t"
+        assert statement.predicates == []
+
+    def test_star(self):
+        statement = parse_select("SELECT * FROM t")
+        assert statement.is_star
+
+    def test_comparison_operators(self):
+        cases = {
+            "a = 5": ColumnRange("a", low=5, high=5),
+            "a < 5": ColumnRange("a", high=5, high_inclusive=False),
+            "a <= 5": ColumnRange("a", high=5),
+            "a > 5": ColumnRange("a", low=5, low_inclusive=False),
+            "a >= 5": ColumnRange("a", low=5),
+        }
+        for clause, expected in cases.items():
+            statement = parse_select("SELECT a FROM t WHERE " + clause)
+            assert statement.predicates == [expected], clause
+
+    def test_between(self):
+        statement = parse_select("SELECT a FROM t WHERE a BETWEEN 3 AND 9")
+        assert statement.predicates == [ColumnRange("a", low=3, high=9)]
+
+    def test_between_inverted_rejected(self):
+        with pytest.raises(QueryError):
+            parse_select("SELECT a FROM t WHERE a BETWEEN 9 AND 3")
+
+    def test_sandwich(self):
+        statement = parse_select("SELECT a FROM t WHERE 3 < a <= 9")
+        assert statement.predicates == [
+            ColumnRange("a", low=3, high=9, low_inclusive=False)
+        ]
+
+    def test_conjunction_merges_same_column(self):
+        statement = parse_select(
+            "SELECT a FROM t WHERE a >= 3 AND a < 9 AND a > 4"
+        )
+        assert statement.predicates == [
+            ColumnRange("a", low=4, high=9, low_inclusive=False,
+                        high_inclusive=False)
+        ]
+
+    def test_contradiction_marked_empty(self):
+        statement = parse_select("SELECT a FROM t WHERE a > 9 AND a < 3")
+        assert statement.predicates[0].empty
+
+    def test_limit(self):
+        assert parse_select("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            parse_select("SELECT a FROM t LIMIT -1")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(QueryError):
+            parse_select("SELECT a FROM t WHERE a = 1 nonsense")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(QueryError):
+            parse_select("SELECT a FROM")
+        with pytest.raises(QueryError):
+            parse_select("SELECT a FROM t WHERE a >")
+
+
+class TestColumnRange:
+    def test_intersect_tightens(self):
+        a = ColumnRange("x", low=0, high=10)
+        b = ColumnRange("x", low=5, high=20)
+        merged = a.intersect(b)
+        assert (merged.low, merged.high) == (5, 10)
+
+    def test_intersect_inclusiveness(self):
+        a = ColumnRange("x", low=5, low_inclusive=True)
+        b = ColumnRange("x", low=5, low_inclusive=False)
+        assert not a.intersect(b).low_inclusive
+
+    def test_point_intersection_needs_both_inclusive(self):
+        a = ColumnRange("x", low=5)
+        b = ColumnRange("x", high=5, high_inclusive=False)
+        assert a.intersect(b).empty
+
+    def test_different_columns_rejected(self):
+        with pytest.raises(QueryError):
+            ColumnRange("x").intersect(ColumnRange("y"))
+
+    def test_contains(self):
+        r = ColumnRange("x", low=3, high=9, low_inclusive=False)
+        assert r.contains(4) and r.contains(9)
+        assert not r.contains(3) and not r.contains(10)
+
+    def test_width(self):
+        assert ColumnRange("x", low=3, high=9).width() == 6
+        assert ColumnRange("x", low=3).width() is None
+
+
+@pytest.mark.parametrize("table_name", ["t", "enc"])
+class TestExecutor:
+    def test_range_and_residual(self, catalog, table_name):
+        out = execute_sql(
+            catalog,
+            "SELECT price, volume FROM %s "
+            "WHERE price BETWEEN 100 AND 200 AND volume >= 50" % table_name,
+        )
+        expected = np.flatnonzero(
+            (PRICE >= 100) & (PRICE <= 200) & (VOLUME >= 50)
+        )
+        assert np.array_equal(np.sort(out["logical_ids"]), expected)
+        assert np.array_equal(out["price"], PRICE[out["logical_ids"]])
+        assert np.array_equal(out["volume"], VOLUME[out["logical_ids"]])
+
+    def test_no_where(self, catalog, table_name):
+        out = execute_sql(catalog, "SELECT price FROM %s" % table_name)
+        assert len(out["logical_ids"]) == len(PRICE)
+
+    def test_star_projection(self, catalog, table_name):
+        out = execute_sql(
+            catalog, "SELECT * FROM %s WHERE price = 10" % table_name
+        )
+        assert set(out) == {"logical_ids", "price", "volume"}
+        assert out["price"].tolist() == [10]
+
+    def test_one_sided(self, catalog, table_name):
+        out = execute_sql(
+            catalog, "SELECT price FROM %s WHERE price >= 380" % table_name
+        )
+        expected = np.flatnonzero(PRICE >= 380)
+        assert np.array_equal(np.sort(out["logical_ids"]), expected)
+
+    def test_contradiction_short_circuits(self, catalog, table_name):
+        out = execute_sql(
+            catalog,
+            "SELECT price FROM %s WHERE price > 9 AND price < 3" % table_name,
+        )
+        assert len(out["logical_ids"]) == 0
+
+    def test_limit(self, catalog, table_name):
+        out = execute_sql(
+            catalog,
+            "SELECT price FROM %s WHERE price < 100 LIMIT 3" % table_name,
+        )
+        assert len(out["logical_ids"]) == 3
+
+    def test_unknown_column(self, catalog, table_name):
+        with pytest.raises(QueryError):
+            execute_sql(catalog, "SELECT nope FROM %s" % table_name)
+        with pytest.raises(QueryError):
+            execute_sql(
+                catalog, "SELECT price FROM %s WHERE nope = 1" % table_name
+            )
+
+
+class TestPlanner:
+    def test_narrowest_predicate_drives(self, catalog):
+        # volume in [50, 51] is far narrower than price in [0, 300]:
+        # the encrypted select must hit the volume column.
+        table = catalog.table("enc")
+        volume_engine = table.server.engine("volume")
+        before = len(volume_engine.stats_log)
+        execute_sql(
+            catalog,
+            "SELECT price FROM enc WHERE price BETWEEN 0 AND 300 "
+            "AND volume BETWEEN 50 AND 51",
+        )
+        assert len(volume_engine.stats_log) > before
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(QueryError):
+            execute_sql(catalog, "SELECT a FROM missing")
+
+    def test_catalog_register_validation(self):
+        with pytest.raises(QueryError):
+            Catalog().register("", None)

@@ -1,0 +1,73 @@
+"""Unit tests for range predicates and the scan select operator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError
+from repro.store.select import RangePredicate, scan_select
+
+
+class TestRangePredicate:
+    def test_contains_inclusive(self):
+        predicate = RangePredicate(5, 10)
+        assert predicate.contains(5)
+        assert predicate.contains(10)
+        assert predicate.contains(7)
+        assert not predicate.contains(4)
+        assert not predicate.contains(11)
+
+    def test_contains_exclusive(self):
+        predicate = RangePredicate(5, 10, False, False)
+        assert not predicate.contains(5)
+        assert not predicate.contains(10)
+        assert predicate.contains(6)
+
+    def test_point(self):
+        predicate = RangePredicate.point(7)
+        assert predicate.contains(7)
+        assert not predicate.contains(6)
+        assert not predicate.is_empty
+
+    def test_empty_predicates(self):
+        assert RangePredicate(5, 5, True, False).is_empty
+        assert RangePredicate(5, 5, False, True).is_empty
+        assert RangePredicate(5, 5, False, False).is_empty
+        assert not RangePredicate(5, 5, True, True).is_empty
+
+    def test_inverted_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate(10, 5)
+
+    def test_mask_matches_contains(self):
+        values = np.arange(-5, 15)
+        for low_inclusive in (True, False):
+            for high_inclusive in (True, False):
+                predicate = RangePredicate(0, 9, low_inclusive, high_inclusive)
+                mask = predicate.mask(values)
+                for value, flag in zip(values, mask):
+                    assert flag == predicate.contains(int(value))
+
+    def test_selectivity(self):
+        predicate = RangePredicate(0, 9)  # 10 integers inclusive
+        assert predicate.selectivity(0, 100) == pytest.approx(0.10)
+        exclusive = RangePredicate(0, 10, True, False)
+        assert exclusive.selectivity(0, 100) == pytest.approx(0.10)
+
+    def test_selectivity_empty_domain_rejected(self):
+        with pytest.raises(QueryError):
+            RangePredicate(0, 1).selectivity(5, 5)
+
+
+class TestScanSelect:
+    def test_positions(self):
+        values = np.array([5, 1, 9, 5, 0])
+        positions = scan_select(values, RangePredicate(1, 5))
+        assert positions.tolist() == [0, 1, 3]
+
+    def test_empty_result(self):
+        values = np.array([5, 1, 9])
+        assert scan_select(values, RangePredicate(100, 200)).size == 0
+
+    def test_empty_predicate(self):
+        values = np.array([5, 1, 9])
+        assert scan_select(values, RangePredicate(5, 5, False, False)).size == 0

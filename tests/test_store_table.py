@@ -1,0 +1,100 @@
+"""Unit tests for the column-store table substrate."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, UpdateError
+from repro.store.select import RangePredicate
+from repro.store.table import Column, Table
+
+
+@pytest.fixture()
+def table():
+    return Table(
+        {
+            "price": [100, 250, 175, 90, 310],
+            "volume": [10, 20, 30, 40, 50],
+        }
+    )
+
+
+class TestColumn:
+    def test_values_read_only(self):
+        column = Column("a", [1, 2, 3])
+        with pytest.raises(ValueError):
+            column.values[0] = 9
+
+    def test_fetch(self):
+        column = Column("a", [10, 20, 30])
+        assert column.fetch(np.array([2, 0])).tolist() == [30, 10]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Column("", [1])
+
+
+class TestTable:
+    def test_len_and_names(self, table):
+        assert len(table) == 5
+        assert table.column_names == ["price", "volume"]
+
+    def test_mismatched_length_rejected(self, table):
+        with pytest.raises(UpdateError):
+            table.add_column("bad", [1, 2])
+
+    def test_duplicate_column_rejected(self, table):
+        with pytest.raises(UpdateError):
+            table.add_column("price", [0] * 5)
+
+    def test_unknown_column_rejected(self, table):
+        with pytest.raises(QueryError):
+            table.column("nope")
+        with pytest.raises(QueryError):
+            table.select("nope", RangePredicate(0, 1))
+
+    def test_scan_select(self, table):
+        positions = table.select("price", RangePredicate(100, 200))
+        assert sorted(positions.tolist()) == [0, 2]
+
+    def test_tuple_reconstruction(self, table):
+        positions = table.select("price", RangePredicate(100, 200))
+        tuples = table.fetch(np.sort(positions))
+        assert tuples["price"].tolist() == [100, 175]
+        assert tuples["volume"].tolist() == [10, 30]
+
+    def test_fetch_subset_of_columns(self, table):
+        tuples = table.fetch(np.array([1]), names=["volume"])
+        assert list(tuples) == ["volume"]
+        assert tuples["volume"].tolist() == [20]
+
+
+class TestCrackedColumn:
+    def test_cracked_select_matches_scan(self, table):
+        index = table.crack_column("price")
+        scan = sorted(
+            Table({"price": [100, 250, 175, 90, 310]})
+            .select("price", RangePredicate(95, 260))
+            .tolist()
+        )
+        cracked = sorted(table.select("price", RangePredicate(95, 260)).tolist())
+        assert cracked == scan
+        assert table.index_for("price") is index
+
+    def test_cracking_is_per_column(self, table):
+        table.crack_column("price")
+        assert table.index_for("volume") is None
+        # Sibling columns are still addressed by base positions.
+        positions = table.select("price", RangePredicate(100, 200))
+        volumes = table.fetch(np.sort(positions), names=["volume"])["volume"]
+        assert volumes.tolist() == [10, 30]
+
+    def test_crack_column_idempotent(self, table):
+        first = table.crack_column("price")
+        second = table.crack_column("price")
+        assert first is second
+
+    def test_index_adapts_with_queries(self, table):
+        index = table.crack_column("price")
+        assert len(index.tree) == 0
+        table.select("price", RangePredicate(100, 200))
+        assert len(index.tree) >= 1

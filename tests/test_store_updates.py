@@ -1,0 +1,80 @@
+"""Unit tests for the pending-update buffer."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.store.updates import PendingUpdates
+
+
+class TestInsert:
+    def test_ids_are_sequential(self):
+        buffer = PendingUpdates(10)
+        assert buffer.insert("a") == 10
+        assert buffer.insert("b") == 11
+        assert buffer.next_row_id == 12
+        assert len(buffer) == 2
+
+    def test_pending_snapshot_is_copy(self):
+        buffer = PendingUpdates(0)
+        buffer.insert("a")
+        snapshot = buffer.pending
+        snapshot.append((99, "z"))
+        assert len(buffer.pending) == 1
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(UpdateError):
+            PendingUpdates(-1)
+
+
+class TestDelete:
+    def test_tombstones_recorded(self):
+        buffer = PendingUpdates(5)
+        buffer.delete(3)
+        assert buffer.is_deleted(3)
+        assert not buffer.is_deleted(2)
+
+    def test_delete_pending_row(self):
+        buffer = PendingUpdates(0)
+        row_id = buffer.insert("a")
+        buffer.delete(row_id)
+        assert buffer.is_deleted(row_id)
+
+    def test_unassigned_id_rejected(self):
+        buffer = PendingUpdates(5)
+        with pytest.raises(UpdateError):
+            buffer.delete(5)
+        with pytest.raises(UpdateError):
+            buffer.delete(-1)
+
+    def test_double_delete_idempotent(self):
+        buffer = PendingUpdates(5)
+        buffer.delete(1)
+        buffer.delete(1)
+        assert buffer.tombstones == {1}
+
+
+class TestDrain:
+    def test_drain_clears_state(self):
+        buffer = PendingUpdates(0)
+        buffer.insert("a")
+        buffer.delete(0)
+        live, tombstones = buffer.drain()
+        assert live == []
+        assert tombstones == {0}
+        assert len(buffer) == 0
+        assert buffer.tombstones == set()
+
+    def test_drain_excludes_deleted_pending(self):
+        buffer = PendingUpdates(10)
+        keep = buffer.insert("keep")
+        drop = buffer.insert("drop")
+        buffer.delete(drop)
+        live, tombstones = buffer.drain()
+        assert [row_id for row_id, __ in live] == [keep]
+        assert drop in tombstones
+
+    def test_ids_continue_after_drain(self):
+        buffer = PendingUpdates(0)
+        buffer.insert("a")
+        buffer.drain()
+        assert buffer.insert("b") == 1

@@ -1,0 +1,207 @@
+"""Unit tests for dataset and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    PAPER_DOMAIN,
+    clustered,
+    unique_uniform,
+    uniform_with_duplicates,
+    zipfian,
+)
+from repro.workloads.generators import (
+    RangeQuery,
+    point_workload,
+    random_workload,
+    selectivity_ladder_workload,
+    sequential_workload,
+    skewed_workload,
+    zoom_workload,
+)
+
+
+class TestDatasets:
+    def test_unique_uniform_properties(self):
+        values = unique_uniform(1000, seed=0)
+        assert len(values) == 1000
+        assert len(np.unique(values)) == 1000
+        assert values.min() >= 0 and values.max() < 2 ** 31
+        assert values.dtype == np.int64
+
+    def test_unique_uniform_is_shuffled(self):
+        values = unique_uniform(1000, seed=0)
+        assert not np.all(np.diff(values) > 0)
+
+    def test_unique_uniform_deterministic(self):
+        assert np.array_equal(
+            unique_uniform(100, seed=5), unique_uniform(100, seed=5)
+        )
+
+    def test_unique_uniform_full_domain(self):
+        values = unique_uniform(10, domain=(0, 10), seed=1)
+        assert sorted(values.tolist()) == list(range(10))
+
+    def test_unique_uniform_domain_too_small(self):
+        with pytest.raises(ValueError):
+            unique_uniform(11, domain=(0, 10))
+
+    def test_duplicates(self):
+        values = uniform_with_duplicates(1000, distinct=10, seed=2)
+        assert len(values) == 1000
+        assert len(np.unique(values)) <= 10
+
+    def test_duplicates_invalid_pool(self):
+        with pytest.raises(ValueError):
+            uniform_with_duplicates(10, distinct=0)
+
+    def test_zipfian_skew(self):
+        values = zipfian(5000, exponent=1.5, distinct=100, seed=3)
+        __, counts = np.unique(values, return_counts=True)
+        # Heavy skew: the most frequent value dominates the median one.
+        assert counts.max() > 10 * np.median(counts)
+
+    def test_zipfian_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            zipfian(10, exponent=1.0)
+
+    def test_clustered_runs(self):
+        values = clustered(1000, runs=4, seed=4)
+        assert len(values) == 1000
+        # Each quarter is internally sorted.
+        for start in range(0, 1000, 250):
+            segment = values[start:start + 250]
+            assert np.all(np.diff(segment) > 0)
+
+    def test_clustered_invalid_runs(self):
+        with pytest.raises(ValueError):
+            clustered(10, runs=0)
+
+
+class TestWorkloads:
+    def test_random_workload_selectivity(self):
+        queries = random_workload(100, (0, 10000), selectivity=0.01, seed=0)
+        assert len(queries) == 100
+        for query in queries:
+            assert query.high - query.low == 100
+            assert 0 <= query.low and query.high <= 10000
+
+    def test_random_workload_deterministic(self):
+        a = random_workload(10, (0, 1000), seed=1)
+        b = random_workload(10, (0, 1000), seed=1)
+        assert a == b
+
+    def test_invalid_selectivity(self):
+        with pytest.raises(ValueError):
+            random_workload(1, (0, 100), selectivity=0.0)
+        with pytest.raises(ValueError):
+            random_workload(1, (0, 100), selectivity=1.5)
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            random_workload(1, (5, 5))
+
+    def test_selectivity_ladder_groups(self):
+        queries = selectivity_ladder_workload(
+            (0, 100000), queries_per_group=10, seed=2
+        )
+        assert len(queries) == 50
+        spans = [q.high - q.low for q in queries]
+        # Five geometric groups: each group's span triples.
+        for group in range(4):
+            assert spans[(group + 1) * 10] == pytest.approx(
+                3 * spans[group * 10], rel=0.02
+            )
+
+    def test_sequential_marches(self):
+        queries = sequential_workload(10, (0, 10000), selectivity=0.01)
+        lows = [q.low for q in queries]
+        assert lows == sorted(lows)
+        assert lows[1] - lows[0] == 100
+
+    def test_sequential_wraps(self):
+        queries = sequential_workload(300, (0, 1000), selectivity=0.1)
+        assert min(q.low for q in queries) == 0
+        assert max(q.high for q in queries) <= 1000
+
+    def test_zoom_shrinks(self):
+        queries = zoom_workload(5, (0, 1024))
+        spans = [q.high - q.low for q in queries]
+        assert spans[0] == 1024
+        assert all(a > b for a, b in zip(spans, spans[1:]))
+
+    def test_skewed_hot_region(self):
+        queries = skewed_workload(
+            200, (0, 100000), hot_fraction=0.1, hot_probability=0.9, seed=3
+        )
+        hot = sum(1 for q in queries if q.high <= 100000 * 0.1 + 1000)
+        assert hot > 140  # ~90% expected
+
+    def test_skewed_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            skewed_workload(1, (0, 100), hot_fraction=0.0)
+
+    def test_point_workload_uses_data(self):
+        values = [3, 1, 4, 1, 5]
+        queries = point_workload(20, values, seed=4)
+        for query in queries:
+            assert query.low == query.high
+            assert query.low in values
+            assert query.low_inclusive and query.high_inclusive
+
+    def test_range_query_as_args(self):
+        query = RangeQuery(1, 5, False, True)
+        assert query.as_args() == (1, 5, False, True)
+
+
+class TestWorkloadTraces:
+    def test_round_trip(self, tmp_path):
+        from repro.workloads.trace import load_workload, save_workload
+
+        queries = random_workload(25, (0, 10000), seed=9)
+        path = str(tmp_path / "trace.json")
+        save_workload(queries, path)
+        assert load_workload(path) == queries
+
+    def test_preserves_flags(self):
+        from repro.workloads.trace import workload_from_json, workload_to_json
+
+        queries = [RangeQuery(1, 5, False, True), RangeQuery(2, 2)]
+        assert workload_from_json(workload_to_json(queries)) == queries
+
+    def test_rejects_garbage(self):
+        import pytest as _pytest
+
+        from repro.errors import QueryError
+        from repro.workloads.trace import workload_from_json
+
+        with _pytest.raises(QueryError):
+            workload_from_json("not json")
+        with _pytest.raises(QueryError):
+            workload_from_json('{"kind": "other"}')
+        with _pytest.raises(QueryError):
+            workload_from_json(
+                '{"kind": "workload", "version": 99, "queries": []}'
+            )
+        with _pytest.raises(QueryError):
+            workload_from_json(
+                '{"kind": "workload", "version": 1, "queries": [{"low": 1}]}'
+            )
+
+    def test_cli_replay(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.workloads.trace import save_workload
+
+        column = tmp_path / "values.txt"
+        column.write_text("\n".join(str(v) for v in range(100)))
+        trace = tmp_path / "trace.json"
+        save_workload(
+            [RangeQuery(10, 20), RangeQuery(50, 60, False, False)],
+            str(trace),
+        )
+        assert main(
+            ["query", str(column), "--workload", str(trace)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "replayed 2-query trace" in out
+        assert "(20 rows returned)" in out
