@@ -1,0 +1,200 @@
+"""Micro-benchmark for the two-tier scalar-product kernel.
+
+Compares kernel-on (int64 fast path when the magnitude bound proves
+products cannot overflow) against kernel-off (exact object-dtype
+matmul, the seed behaviour) on two levels:
+
+* ``products`` — raw scalar products over a 100K-row int64-safe
+  encrypted column, the primitive every crack/scan/route reduces to;
+* the Figure 9 workload — a random 1%-selectivity query sequence
+  replayed against :class:`SecureAdaptiveIndex`, with kernel tier and
+  product-cache counters.
+
+Emits machine-readable ``BENCH_kernel.json`` under
+``benchmarks/results/`` (plus a text summary on stdout).
+
+Run standalone (``python benchmarks/bench_kernel.py [--smoke]``,
+``REPRO_BENCH_FAST=1`` also selects smoke scale) or through pytest
+(``pytest benchmarks/bench_kernel.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro.bench.reporting import RESULTS_DIR
+from repro.core.encrypted_column import EncryptedColumn
+from repro.core.query import EncryptedBound, EncryptedQuery
+from repro.core.secure_index import SecureAdaptiveIndex
+from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
+from repro.crypto.key import generate_key
+from repro.crypto.scheme import Encryptor
+from repro.linalg.kernels import kernel_disabled
+from repro.workloads.generators import random_workload
+
+SMOKE = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+#: Encryption parameters small enough that every ``Eb . Ev`` product of
+#: the workload provably fits int64 (the regime the fast tier targets;
+#: the default 2**16 parameters overflow and take the exact tier).
+COMPACT_PARAMS = dict(multiplier_bound=4, noise_magnitude=4)
+
+
+def _best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        tick = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - tick)
+    return best
+
+
+def bench_products(rows: int, length: int, repeats: int) -> dict:
+    """Raw ``products`` over an int64-safe column, kernel on vs off."""
+    rng = random.Random(7)
+    column = EncryptedColumn(
+        [
+            ValueCiphertext(
+                tuple(rng.randint(-(2 ** 20), 2 ** 20) for _ in range(length))
+            )
+            for _ in range(rows)
+        ]
+    )
+    bound = BoundCiphertext(
+        tuple(rng.randint(-(2 ** 20), 2 ** 20) for _ in range(length))
+    )
+    column.products(0, rows, bound)  # warm the int64 mirror
+    on_seconds = _best_of(repeats, lambda: column.products(0, rows, bound))
+    with kernel_disabled():
+        off_seconds = _best_of(repeats, lambda: column.products(0, rows, bound))
+    return {
+        "rows": rows,
+        "length": length,
+        "repeats": repeats,
+        "kernel_on_seconds": on_seconds,
+        "kernel_off_seconds": off_seconds,
+        "speedup": off_seconds / on_seconds if on_seconds else float("inf"),
+        "fast_products": column.kernel_counters.fast_products,
+        "exact_products": column.kernel_counters.exact_products,
+    }
+
+
+def _run_workload(values, queries, encryptor, min_piece_size):
+    column = EncryptedColumn([encryptor.encrypt_value(v) for v in values])
+    engine = SecureAdaptiveIndex(column, min_piece_size=min_piece_size)
+    tick = time.perf_counter()
+    for query in queries:
+        engine.query(
+            EncryptedQuery(
+                low=EncryptedBound(
+                    eb=encryptor.encrypt_bound(query.low),
+                    ev=encryptor.encrypt_value(query.low),
+                ),
+                high=EncryptedBound(
+                    eb=encryptor.encrypt_bound(query.high),
+                    ev=encryptor.encrypt_value(query.high),
+                ),
+                low_inclusive=query.low_inclusive,
+                high_inclusive=query.high_inclusive,
+            )
+        )
+    elapsed = time.perf_counter() - tick
+    stats = engine.stats_log
+    return elapsed, {
+        "seconds": elapsed,
+        "fast_products": sum(s.kernel_fast_products for s in stats),
+        "exact_products": sum(s.kernel_exact_products for s in stats),
+        "cache_hits": sum(s.product_cache_hits for s in stats),
+        "result_rows": sum(s.result_count for s in stats),
+    }
+
+
+def bench_workload(size: int, query_count: int, min_piece_size: int) -> dict:
+    """Figure 9 workload (random 1%-selectivity ranges), kernel on/off."""
+    domain = (0, size)
+    values = [int(v) for v in np.random.default_rng(11).permutation(size)]
+    queries = random_workload(query_count, domain, selectivity=0.01, seed=13)
+    key = generate_key(length=4, seed=3)
+    encryptor = Encryptor(key, seed=4, **COMPACT_PARAMS)
+    __, on = _run_workload(values, queries, encryptor, min_piece_size)
+    encryptor = Encryptor(key, seed=4, **COMPACT_PARAMS)
+    with kernel_disabled():
+        __, off = _run_workload(values, queries, encryptor, min_piece_size)
+    assert on["result_rows"] == off["result_rows"]
+    return {
+        "size": size,
+        "queries": query_count,
+        "min_piece_size": min_piece_size,
+        "selectivity": 0.01,
+        "kernel_on": on,
+        "kernel_off": off,
+        "speedup": off["seconds"] / on["seconds"] if on["seconds"] else float("inf"),
+    }
+
+
+def main(smoke: bool = SMOKE, output: str = None) -> dict:
+    if smoke:
+        products = bench_products(rows=10_000, length=4, repeats=3)
+        workload = bench_workload(size=1_000, query_count=60, min_piece_size=16)
+    else:
+        products = bench_products(rows=100_000, length=4, repeats=5)
+        workload = bench_workload(size=8_000, query_count=200, min_piece_size=32)
+    report = {
+        "benchmark": "kernel",
+        "mode": "smoke" if smoke else "full",
+        "products": products,
+        "fig9_workload": workload,
+    }
+    if output is None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        output = os.path.join(RESULTS_DIR, "BENCH_kernel.json")
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        "products (%d rows): kernel-on %.4fs  kernel-off %.4fs  speedup %.1fx"
+        % (
+            products["rows"],
+            products["kernel_on_seconds"],
+            products["kernel_off_seconds"],
+            products["speedup"],
+        )
+    )
+    print(
+        "fig9 workload (%d rows, %d queries): kernel-on %.3fs  kernel-off %.3fs"
+        "  speedup %.2fx  (fast %d / exact %d products, %d cache hits)"
+        % (
+            workload["size"],
+            workload["queries"],
+            workload["kernel_on"]["seconds"],
+            workload["kernel_off"]["seconds"],
+            workload["speedup"],
+            workload["kernel_on"]["fast_products"],
+            workload["kernel_on"]["exact_products"],
+            workload["kernel_on"]["cache_hits"],
+        )
+    )
+    print("wrote %s" % output)
+    return report
+
+
+def test_kernel_benchmark():
+    """Pytest entry point: the kernel must beat the exact path >= 3x."""
+    report = main(smoke=SMOKE)
+    assert report["products"]["speedup"] >= 3.0
+    assert report["products"]["fast_products"] > 0
+    assert report["fig9_workload"]["kernel_on"]["fast_products"] > 0
+
+
+if __name__ == "__main__":
+    main(smoke=SMOKE or "--smoke" in sys.argv[1:])

@@ -233,8 +233,14 @@ class TrustedClient:
             else:
                 false_positives += 1
         elapsed = time.perf_counter() - tick
+        try:
+            values_array = np.array(values, dtype=np.int64)
+        except OverflowError:
+            # The scheme is arbitrary precision; values outside the
+            # machine-word range stay exact as a Python big-int array.
+            values_array = np.array(values, dtype=object)
         return ClientResult(
-            values=np.array(values, dtype=np.int64),
+            values=values_array,
             logical_ids=np.array(logical_ids, dtype=np.int64),
             false_positives=false_positives,
             returned_rows=len(rows),

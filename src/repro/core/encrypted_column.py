@@ -10,11 +10,22 @@ All row classification happens through scalar products against an
 ``Eb``-mode bound (``sign(Eb . Ev) == sign(v - b)``); the column never
 compares two of its own rows, mirroring the scheme's central
 restriction.
+
+Scalar products are routed through the two-tier kernel of
+:mod:`repro.linalg.kernels`: the column tracks the largest absolute
+component of its dense matrix (``max_abs``) and keeps an int64 mirror
+of the matrix, so products proven not to overflow 64 bits run as a
+native matmul while everything else falls back to the exact
+object-dtype path.  An optional per-query
+:class:`~repro.linalg.kernels.ProductCache` (installed by the engines
+via :meth:`use_product_cache`) is kept physically aligned through every
+reorganisation so cracks and edge-piece scans share products.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,6 +36,12 @@ from repro.cracking.algorithms import (
 )
 from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
 from repro.errors import IndexStateError
+from repro.linalg.kernels import (
+    INT64_MAX,
+    KernelCounters,
+    ProductCache,
+    matrix_products,
+)
 
 
 class EncryptedColumn:
@@ -76,6 +93,15 @@ class EncryptedColumn:
         }
         if len(self._position_of_id) != len(self._row_ids):
             raise IndexStateError("row ids must be unique")
+        # Kernel metadata: a conservative magnitude bound on the dense
+        # matrix (deletes never lower it — that can only demote the
+        # kernel to the exact tier), a lazily built int64 mirror kept
+        # aligned through every reorganisation, per-tier counters, and
+        # the per-query product cache slot.
+        self._max_abs = max((row.max_abs for row in rows), default=0)
+        self._mirror: Optional[np.ndarray] = None
+        self.kernel_counters = KernelCounters()
+        self._product_cache: Optional[ProductCache] = None
 
     def __len__(self) -> int:
         return self._matrix.shape[0]
@@ -94,17 +120,70 @@ class EncryptedColumn:
 
     # -- scalar products -------------------------------------------------------
 
+    @property
+    def max_abs(self) -> int:
+        """Conservative bound on the matrix's absolute components."""
+        return self._max_abs
+
+    @contextmanager
+    def use_product_cache(self, cache: ProductCache):
+        """Install a per-query product cache for the duration of a query.
+
+        The column keeps the cache physically aligned: cracks permute
+        cached arrays alongside the matrix, structural changes drop
+        them.  Engines install a fresh cache per query and read its hit
+        counter into :class:`~repro.cracking.index.QueryStats`.
+        """
+        previous = self._product_cache
+        self._product_cache = cache
+        try:
+            yield cache
+        finally:
+            self._product_cache = previous
+
     def products(
         self, piece_lo: int, piece_hi: int, bound: BoundCiphertext
     ) -> np.ndarray:
         """Exact products ``Eb . Ev`` for rows in ``[piece_lo, piece_hi)``.
 
         Denominators are positive, so the signs of these integers equal
-        the signs of the exact rational comparisons.
+        the signs of the exact rational comparisons.  Served by the
+        int64 fast path when the magnitude bounds prove it exact, from
+        the active per-query cache when the same ``(bound, piece)``
+        products were already computed, and by the exact object-dtype
+        matmul otherwise — the three sources are bit-for-bit identical.
         """
         self._check_range(piece_lo, piece_hi)
-        vector = np.array(bound.vector, dtype=object)
-        return self._matrix[piece_lo:piece_hi] @ vector
+        cache = self._product_cache
+        if cache is not None:
+            cached = cache.lookup(bound, piece_lo, piece_hi)
+            if cached is not None:
+                return cached
+        products = matrix_products(
+            self._matrix[piece_lo:piece_hi],
+            self._mirror_slice(piece_lo, piece_hi),
+            bound.vector,
+            self._max_abs,
+            bound.max_abs,
+            self.kernel_counters,
+        )
+        if cache is not None:
+            cache.store(bound, piece_lo, piece_hi, products)
+        return products
+
+    def _mirror_slice(self, piece_lo: int, piece_hi: int) -> Optional[np.ndarray]:
+        """Int64 view of ``[piece_lo, piece_hi)``; None when unavailable.
+
+        The mirror is built lazily the first time the matrix is known
+        to fit int64 and then kept aligned by every reorganisation, so
+        steady-state queries pay no conversion cost.
+        """
+        if self._max_abs > INT64_MAX:
+            self._mirror = None
+            return None
+        if self._mirror is None:
+            self._mirror = self._matrix.astype(np.int64)
+        return self._mirror[piece_lo:piece_hi]
 
     # -- cracking ----------------------------------------------------------------
 
@@ -172,6 +251,10 @@ class EncryptedColumn:
         """Algorithm 1 path over encrypted rows (per-row dot products)."""
         vector = bound.vector
         matrix = self._matrix
+        # Swaps bypass _apply_order, so cached product orderings for the
+        # piece cannot be maintained incrementally; drop them up front.
+        if self._product_cache is not None:
+            self._product_cache.invalidate()
 
         def belongs_left(i: int) -> bool:
             product = sum(a * b for a, b in zip(matrix[i], vector))
@@ -183,6 +266,8 @@ class EncryptedColumn:
             self._row_ids[[i, j]] = self._row_ids[[j, i]]
             self._position_of_id[int(self._row_ids[i])] = i
             self._position_of_id[int(self._row_ids[j])] = j
+            if self._mirror is not None:
+                self._mirror[[i, j]] = self._mirror[[j, i]]
 
         return crack_in_two(belongs_left, swap, piece_lo, piece_hi - 1)
 
@@ -243,16 +328,25 @@ class EncryptedColumn:
     # -- updates -----------------------------------------------------------------------
 
     def insert_at(self, position: int, row: ValueCiphertext, row_id: int) -> None:
-        """Physically insert one row at ``position`` (O(n) memmove)."""
+        """Physically insert one row at ``position`` (O(n) memmove).
+
+        The ciphertext length is validated against the established
+        ``_length`` whenever one exists — including after deletes have
+        emptied the column, which must not let a wrong-length row reset
+        the column's width mid-life.  Only a column that never held a
+        row adopts the incoming row's length.
+        """
         if not 0 <= position <= len(self):
             raise IndexStateError("insert position out of range")
-        if len(self) and row.length != self._length:
-            raise IndexStateError("row has wrong ciphertext length")
-        if int(row_id) in self._position_of_id:
-            raise IndexStateError("row id %d already present" % row_id)
-        if not len(self):
+        if self._length:
+            if row.length != self._length:
+                raise IndexStateError("row has wrong ciphertext length")
+        else:
             self._length = row.length
             self._matrix = np.empty((0, self._length), dtype=object)
+            self._mirror = None  # any zero-width mirror is now mis-shaped
+        if int(row_id) in self._position_of_id:
+            raise IndexStateError("row id %d already present" % row_id)
         new_row = np.empty((1, self._length), dtype=object)
         new_row[0, :] = row.numerators
         self._matrix = np.concatenate(
@@ -274,6 +368,20 @@ class EncryptedColumn:
         )
         for index in range(position, len(self._row_ids)):
             self._position_of_id[int(self._row_ids[index])] = index
+        self._max_abs = max(self._max_abs, row.max_abs)
+        if self._mirror is not None:
+            if row.max_abs <= INT64_MAX:
+                self._mirror = np.concatenate(
+                    (
+                        self._mirror[:position],
+                        np.array([row.numerators], dtype=np.int64),
+                        self._mirror[position:],
+                    )
+                )
+            else:
+                self._mirror = None
+        if self._product_cache is not None:
+            self._product_cache.invalidate()
 
     def delete_at(self, position: int) -> None:
         """Physically remove the row at ``position`` (O(n) memmove)."""
@@ -285,6 +393,10 @@ class EncryptedColumn:
         self._row_ids = np.delete(self._row_ids, position)
         for index in range(position, len(self._row_ids)):
             self._position_of_id[int(self._row_ids[index])] = index
+        if self._mirror is not None:
+            self._mirror = np.delete(self._mirror, position, axis=0)
+        if self._product_cache is not None:
+            self._product_cache.invalidate()
 
     def physical_index_of(self, row_id: int) -> int:
         """Current physical index of a row id (O(1) through the id map).
@@ -318,6 +430,10 @@ class EncryptedColumn:
         self._row_ids[piece_lo:piece_hi] = self._row_ids[piece_lo:piece_hi][order]
         for index in range(piece_lo, piece_hi):
             self._position_of_id[int(self._row_ids[index])] = index
+        if self._mirror is not None:
+            self._mirror[piece_lo:piece_hi] = self._mirror[piece_lo:piece_hi][order]
+        if self._product_cache is not None:
+            self._product_cache.apply_order(piece_lo, piece_hi, order)
 
     def _check_range(self, piece_lo: int, piece_hi: int) -> None:
         if not 0 <= piece_lo <= piece_hi <= len(self):

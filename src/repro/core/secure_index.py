@@ -35,6 +35,7 @@ from repro.core.query import (
     compare_encrypted_keys,
 )
 from repro.errors import IndexStateError
+from repro.linalg.kernels import ProductCache, single_product
 
 
 class SecureAdaptiveIndex:
@@ -92,14 +93,7 @@ class SecureAdaptiveIndex:
         and returns ``(row_ids, ciphertext_rows)`` of the qualifying
         tuples — the single-round response of paper requirement 5.
         """
-        stats = QueryStats()
-        tree_comparisons_before = self._tree.comparison_count
-        for pivot in query.pivots:
-            self._crack_pivot(pivot, stats)
-        indices = self._execute(query, stats)
-        stats.comparisons += (
-            self._tree.comparison_count - tree_comparisons_before
-        )
+        indices, stats = self._answer(query)
         row_ids = self._column.row_ids_at(indices)
         rows = self._column.rows_at(indices)
         stats.result_count = len(row_ids)
@@ -113,20 +107,40 @@ class SecureAdaptiveIndex:
         Lower-level hook used by the server for tombstone filtering
         before materialising ciphertexts.
         """
-        stats = QueryStats()
-        tree_comparisons_before = self._tree.comparison_count
-        for pivot in query.pivots:
-            self._crack_pivot(pivot, stats)
-        indices = self._execute(query, stats)
-        stats.comparisons += (
-            self._tree.comparison_count - tree_comparisons_before
-        )
+        indices, stats = self._answer(query)
         stats.result_count = len(indices)
         if self._record_stats:
             self.stats_log.append(stats)
         return indices
 
     # -- internals --------------------------------------------------------------
+
+    def _answer(
+        self, query: EncryptedQuery
+    ) -> Tuple[np.ndarray, QueryStats]:
+        """Run one query under a fresh product cache; returns its stats.
+
+        The cache lives for exactly this query, so a crack's products
+        are reused by a subsequent edge-piece scan over the same bound
+        (the column permutes the cached arrays alongside every
+        reorganisation); kernel tier counts and cache hits land on the
+        query's :class:`QueryStats`.
+        """
+        stats = QueryStats()
+        fast_before, exact_before = self._column.kernel_counters.snapshot()
+        tree_comparisons_before = self._tree.comparison_count
+        with self._column.use_product_cache(ProductCache()) as cache:
+            for pivot in query.pivots:
+                self._crack_pivot(pivot, stats)
+            indices = self._execute(query, stats)
+        stats.comparisons += (
+            self._tree.comparison_count - tree_comparisons_before
+        )
+        fast_after, exact_after = self._column.kernel_counters.snapshot()
+        stats.kernel_fast_products = fast_after - fast_before
+        stats.kernel_exact_products = exact_after - exact_before
+        stats.product_cache_hits = cache.hits
+        return indices, stats
 
     def _execute(self, query: EncryptedQuery, stats: QueryStats) -> np.ndarray:
         size = len(self._column)
@@ -269,12 +283,22 @@ class SecureAdaptiveIndex:
         Routes the row down the tree comparing it against each node's
         ``Eb`` form (``sign(Eb(b_node) . Ev(v_new)) == sign(v_new -
         b_node)``) — the server can do this without learning
-        ``v_new``.  Used by the ripple merge of pending inserts.
+        ``v_new``.  Used by the ripple merge of pending inserts.  Each
+        comparison goes through the scalar-product kernel so it shares
+        the column's per-tier accounting.
         """
         node = self._tree.root
         piece_lo, piece_hi = 0, len(self._column)
         while node is not None:
-            sign = node.key.bound.eb.product_sign(row)
+            eb = node.key.bound.eb
+            product = single_product(
+                eb.vector,
+                row.numerators,
+                eb.max_abs,
+                row.max_abs,
+                self._column.kernel_counters,
+            )
+            sign = (product > 0) - (product < 0)
             belongs_left = sign < 0 or (sign == 0 and node.key.inclusive)
             if belongs_left:
                 piece_hi = node.position

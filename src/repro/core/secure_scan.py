@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.encrypted_column import EncryptedColumn
 from repro.core.query import EncryptedQuery
 from repro.cracking.index import QueryStats
+from repro.linalg.kernels import ProductCache
 
 
 class SecureScan:
@@ -42,20 +43,26 @@ class SecureScan:
 
     def qualifying_indices(self, query: EncryptedQuery) -> np.ndarray:
         """Physical indices of qualifying rows (no side effects)."""
+        fast_before, exact_before = self._column.kernel_counters.snapshot()
         tick = time.perf_counter()
-        indices = self._column.scan_qualifying(
-            0,
-            len(self._column),
-            query.low.eb if query.low is not None else None,
-            query.low_inclusive,
-            query.high.eb if query.high is not None else None,
-            query.high_inclusive,
-        )
+        with self._column.use_product_cache(ProductCache()) as cache:
+            indices = self._column.scan_qualifying(
+                0,
+                len(self._column),
+                query.low.eb if query.low is not None else None,
+                query.low_inclusive,
+                query.high.eb if query.high is not None else None,
+                query.high_inclusive,
+            )
         if self._record_stats:
+            fast_after, exact_after = self._column.kernel_counters.snapshot()
             self.stats_log.append(
                 QueryStats(
                     scan_seconds=time.perf_counter() - tick,
                     result_count=len(indices),
+                    kernel_fast_products=fast_after - fast_before,
+                    kernel_exact_products=exact_after - exact_before,
+                    product_cache_hits=cache.hits,
                 )
             )
         return indices

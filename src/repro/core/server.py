@@ -25,6 +25,7 @@ from repro.core.query import EncryptedQuery
 from repro.core.secure_index import SecureAdaptiveIndex
 from repro.core.secure_scan import SecureScan
 from repro.errors import ProtocolError, UpdateError
+from repro.linalg.kernels import ProductCache, single_product
 from repro.store.updates import PendingUpdates
 
 ENGINES = ("adaptive", "scan")
@@ -128,11 +129,17 @@ class SecureServer:
             for row_id, index in zip(row_ids, indices)
             if not self._updates.is_deleted(int(row_id))
         ]
+        counters = column.kernel_counters
+        fast_before, exact_before = counters.snapshot()
+        pending_cache = ProductCache()
         for row_id, row in self._updates.pending:
             if self._updates.is_deleted(row_id):
                 continue
-            if _row_qualifies(row, query):
+            if _row_qualifies(row, row_id, query, pending_cache, counters):
                 live.append((row_id, row))
+        self._merge_pending_scan_stats(
+            counters.snapshot(), (fast_before, exact_before), pending_cache
+        )
         self.queries_served += 1
         self.rows_shipped += len(live)
         self.bytes_shipped += sum(row.size_bytes for _, row in live)
@@ -188,14 +195,54 @@ class SecureServer:
                 column.insert_at(len(column), row, row_id)
         return len(pending) - len(tombstones & present)
 
+    def _merge_pending_scan_stats(
+        self, after, before, pending_cache: ProductCache
+    ) -> None:
+        """Fold pending-scan kernel counts into the query's stats entry.
 
-def _row_qualifies(row: ValueCiphertext, query: EncryptedQuery) -> bool:
+        The engine appended this query's :class:`QueryStats` inside
+        ``qualifying_indices``; the pending-buffer scan happens after
+        that, so its products are accounted onto the same entry.
+        """
+        if not getattr(self._engine, "_record_stats", False):
+            return
+        log = self._engine.stats_log
+        if not log:
+            return
+        stats = log[-1]
+        stats.kernel_fast_products += after[0] - before[0]
+        stats.kernel_exact_products += after[1] - before[1]
+        stats.product_cache_hits += pending_cache.hits
+
+
+def _pending_product(
+    bound, row: ValueCiphertext, row_id: int, cache: ProductCache, counters
+) -> int:
+    """One kernel-routed ``Eb . Ev`` product for a pending-buffer row,
+    memoised per ``(bound, row)`` in the per-query cache."""
+    cached = cache.lookup_scalar(bound, row_id)
+    if cached is not None:
+        return cached
+    product = single_product(
+        bound.vector, row.numerators, bound.max_abs, row.max_abs, counters
+    )
+    cache.store_scalar(bound, row_id, product)
+    return product
+
+
+def _row_qualifies(
+    row: ValueCiphertext,
+    row_id: int,
+    query: EncryptedQuery,
+    cache: ProductCache,
+    counters,
+) -> bool:
     """Evaluate the full range predicate on one row via scalar products."""
     if query.low is not None:
-        low_sign = query.low.eb.product_sign(row)
-        if not (low_sign >= 0 if query.low_inclusive else low_sign > 0):
+        low_product = _pending_product(query.low.eb, row, row_id, cache, counters)
+        if not (low_product >= 0 if query.low_inclusive else low_product > 0):
             return False
     if query.high is None:
         return True
-    high_sign = query.high.eb.product_sign(row)
-    return high_sign <= 0 if query.high_inclusive else high_sign < 0
+    high_product = _pending_product(query.high.eb, row, row_id, cache, counters)
+    return high_product <= 0 if query.high_inclusive else high_product < 0

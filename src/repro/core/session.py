@@ -74,9 +74,10 @@ class OutsourcedDatabase:
             fake_domain=fake_domain,
         )
         rows, row_ids = self.client.encrypt_dataset(values)
-        self.server = SecureServer(
-            rows,
-            row_ids,
+        # The full server configuration is kept on the session so that
+        # maintenance operations rebuilding the server (key rotation)
+        # restore every knob, not just a subset.
+        self._server_config = dict(
             engine=engine,
             auto_merge_threshold=auto_merge_threshold,
             min_piece_size=min_piece_size,
@@ -84,6 +85,7 @@ class OutsourcedDatabase:
             use_paper_tree_algorithms=use_paper_tree_algorithms,
             record_stats=record_stats,
         )
+        self.server = SecureServer(rows, row_ids, **self._server_config)
         if jitter_pivots and engine != "adaptive":
             raise QueryError("jitter pivots require the adaptive engine")
         self._jitter_pivots = int(jitter_pivots)
@@ -179,9 +181,18 @@ class OutsourcedDatabase:
         empty (its structure was derived under the old ciphertexts).
 
         Logical ids are compacted; returns the old-to-new id mapping.
+
+        The fetch is genuinely unbounded (both bounds None — the scheme
+        is arbitrary precision, so no finite sentinel range is safe)
+        and internal: it attaches no jitter pivots and is excluded from
+        :attr:`round_trips` / :attr:`client_stats` / :attr:`bytes_sent`,
+        which account the observed workload only.  The rebuilt server
+        keeps the session's full original configuration
+        (auto-merge threshold, three-way cracking, paper-tree
+        algorithms, stats recording, minimum piece size).
         """
         self.merge()
-        everything = self.query(-(2 ** 62), 2 ** 62)
+        everything = self._fetch_all()
         old_ids = [int(i) for i in everything.logical_ids]
         values = [int(v) for v in everything.values]
         order = sorted(range(len(old_ids)), key=lambda i: old_ids[i])
@@ -195,17 +206,25 @@ class OutsourcedDatabase:
             fake_domain=self.client.fake_domain,
         )
         rows, row_ids = self.client.encrypt_dataset(values)
-        self.server = SecureServer(
-            rows,
-            row_ids,
-            engine=self.server.engine_kind,
-            min_piece_size=getattr(self.server.engine, "_min_piece", 1),
-        )
+        self.server = SecureServer(rows, row_ids, **self._server_config)
         self._logical_count = len(values)
         self._base_physical_count = len(rows)
         self._inserted_physical_to_logical = {}
         self._logical_to_physical = {}
         return mapping
+
+    def _fetch_all(self) -> ClientResult:
+        """Fetch every live row for internal maintenance.
+
+        Unlike :meth:`query` this draws no jitter pivots and does not
+        touch the session's protocol accounting — maintenance traffic
+        is not part of the workload the experiments measure.
+        """
+        message = self.client.make_query()
+        response = self.server.execute(message)
+        return self.client.decrypt_results(
+            response.row_ids, response.rows, id_mapper=self._map_physical_id
+        )
 
     # -- internals --------------------------------------------------------------------
 

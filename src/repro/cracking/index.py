@@ -61,6 +61,14 @@ class QueryStats:
             scalar product): one per row classified by a crack, two per
             row filtered by a two-sided scan, one per AVL key
             comparison.
+        kernel_fast_products: scalar products served by the int64 fast
+            path of :mod:`repro.linalg.kernels` (secure engines only;
+            0 for plaintext engines).
+        kernel_exact_products: scalar products that fell back to the
+            exact big-int path.
+        product_cache_hits: scalar products reused from the per-query
+            :class:`~repro.linalg.kernels.ProductCache` instead of
+            being recomputed.
     """
 
     search_seconds: float = 0.0
@@ -71,6 +79,9 @@ class QueryStats:
     cracked_rows: int = 0
     cracks: int = 0
     comparisons: int = 0
+    kernel_fast_products: int = 0
+    kernel_exact_products: int = 0
+    product_cache_hits: int = 0
 
     @property
     def total_seconds(self) -> float:

@@ -21,6 +21,7 @@ exact rational product — the only fact cracking relies on.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Tuple
 
 from repro.linalg.vectors import IntVector, dot
@@ -57,6 +58,13 @@ class ValueCiphertext:
             (self.denominator,)
         )
 
+    @cached_property
+    def max_abs(self) -> int:
+        """Largest absolute numerator — the magnitude bound the scalar
+        product kernel uses to prove int64 safety (see
+        :mod:`repro.linalg.kernels`)."""
+        return max((abs(int(x)) for x in self.numerators), default=0)
+
 
 @dataclass(frozen=True)
 class BoundCiphertext:
@@ -73,6 +81,11 @@ class BoundCiphertext:
     def size_bytes(self) -> int:
         """Wire-size estimate."""
         return _vector_size_bytes(self.vector)
+
+    @cached_property
+    def max_abs(self) -> int:
+        """Largest absolute component (kernel overflow-proof metadata)."""
+        return max((abs(int(x)) for x in self.vector), default=0)
 
     def product_sign(self, value: ValueCiphertext) -> int:
         """Sign of ``Eb(b) . Ev(v)``, i.e. of ``xi(v) * (v - b)``.

@@ -1,0 +1,263 @@
+"""Two-tier scalar-product kernels with an exact big-int fallback.
+
+Every server-side operation in the system — cracking a piece, scanning
+a sub-threshold edge piece, routing a pending insert — reduces to sign
+tests on ``Eb . Ev`` scalar products (paper, Section 3.3).  The
+reproduction's substrate is exact Python big-int arithmetic (the
+analogue of the paper's GMP arrays), which pays object-dtype matmuls
+even when every operand fits comfortably in a machine word.
+
+This module provides the native fast path with an overflow *proof*:
+
+* **Tier 1 (fast)** — a ``numpy`` int64 matmul, taken only when a cheap
+  magnitude bound shows the dot products cannot overflow 64 bits.  For
+  a length-``l`` product between rows bounded by ``A = max|row_ij|``
+  and a vector bounded by ``B = max|vec_j]``, every partial sum is
+  bounded by ``l * A * B``; if that is ``<= 2**63 - 1`` no intermediate
+  or final value can wrap, so the int64 result is bit-for-bit equal to
+  the exact one.
+* **Tier 2 (exact)** — the existing object-dtype matmul over Python
+  big-ints, used whenever the proof fails (or the kernel is disabled).
+
+The bound is tracked as ``max_abs`` metadata on ciphertexts and on
+:class:`~repro.core.encrypted_column.EncryptedColumn`'s dense matrix;
+it is conservative (deletes never lower it), which can only demote the
+kernel to the exact tier — never the other way around.
+
+A per-query :class:`ProductCache` lets engines reuse products across
+the operations of one query: a crack stores its products and *permutes
+the cached array alongside the column*, so a later edge-piece scan on a
+sub-range of the cracked piece slices the cache instead of
+re-multiplying.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Largest magnitude an int64 can hold; products proven to stay at or
+#: below this bound are exact on the fast path.
+INT64_MAX = 2 ** 63 - 1
+
+_enabled = True
+
+
+def kernel_enabled() -> bool:
+    """Whether the int64 fast path may be taken."""
+    return _enabled
+
+
+def set_kernel_enabled(enabled: bool) -> bool:
+    """Globally enable/disable the fast path; returns the previous state.
+
+    With the kernel disabled every product runs on the exact tier —
+    the configuration benchmarks call "kernel-off".
+    """
+    global _enabled
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+@contextmanager
+def kernel_disabled():
+    """Context manager forcing the exact tier (for tests/benchmarks)."""
+    previous = set_kernel_enabled(False)
+    try:
+        yield
+    finally:
+        set_kernel_enabled(previous)
+
+
+def max_abs(components: Sequence[int]) -> int:
+    """Largest absolute component of an integer vector (0 when empty)."""
+    return max((abs(int(x)) for x in components), default=0)
+
+
+def products_fit_int64(length: int, a_max: int, b_max: int) -> bool:
+    """True when length-``length`` dot products of vectors bounded by
+    ``a_max`` and ``b_max`` provably cannot overflow an int64.
+
+    Every partial sum of such a product lies in
+    ``[-length * a_max * b_max, length * a_max * b_max]``; the proof
+    therefore also covers numpy's intermediate accumulations.
+    """
+    if length == 0:
+        return True
+    if a_max > INT64_MAX or b_max > INT64_MAX:
+        return False
+    return length * a_max * b_max <= INT64_MAX
+
+
+@dataclass
+class KernelCounters:
+    """Running totals of products computed on each tier.
+
+    Attributes:
+        fast_products: scalar products served by the int64 fast path.
+        exact_products: scalar products served by the exact big-int
+            fallback.
+    """
+
+    fast_products: int = 0
+    exact_products: int = 0
+
+    def snapshot(self) -> Tuple[int, int]:
+        """Current ``(fast, exact)`` totals, for per-query diffing."""
+        return self.fast_products, self.exact_products
+
+
+def matrix_products(
+    matrix: np.ndarray,
+    mirror: Optional[np.ndarray],
+    vector: Sequence[int],
+    matrix_max_abs: int,
+    vector_max_abs: int,
+    counters: Optional[KernelCounters] = None,
+) -> np.ndarray:
+    """All dot products between the rows of ``matrix`` and ``vector``.
+
+    Args:
+        matrix: object-dtype matrix slice (Python big-ints).
+        mirror: int64 mirror of the same slice, or None when the matrix
+            does not fit int64 (forces the exact tier).
+        vector: the bound vector (Python ints).
+        matrix_max_abs: proven bound on ``|matrix[i, j]|``.
+        vector_max_abs: proven bound on ``|vector[j]|``.
+        counters: per-tier accounting, incremented by the row count.
+
+    Returns:
+        int64 array on the fast path, object array on the exact path;
+        values are bit-for-bit identical either way.
+    """
+    rows = matrix.shape[0]
+    length = matrix.shape[1] if matrix.ndim == 2 else len(vector)
+    if (
+        _enabled
+        and mirror is not None
+        and products_fit_int64(length, matrix_max_abs, vector_max_abs)
+    ):
+        if counters is not None:
+            counters.fast_products += rows
+        return mirror @ np.asarray(vector, dtype=np.int64)
+    if counters is not None:
+        counters.exact_products += rows
+    return matrix @ np.asarray(vector, dtype=object)
+
+
+def single_product(
+    a: Sequence[int],
+    b: Sequence[int],
+    a_max: int,
+    b_max: int,
+    counters: Optional[KernelCounters] = None,
+) -> int:
+    """One exact scalar product, with tier accounting.
+
+    For a single short product the two tiers share an implementation
+    (CPython machine-word integer arithmetic *is* the native path at
+    this size — array round-trips would only add overhead), but the
+    counters still record which tier the magnitude proof admits, so
+    per-query stats reflect the same classification as the batched
+    kernel.
+    """
+    if counters is not None:
+        if _enabled and products_fit_int64(len(a), a_max, b_max):
+            counters.fast_products += 1
+        else:
+            counters.exact_products += 1
+    return sum(x * y for x, y in zip(a, b))
+
+
+class _CacheEntry:
+    """Products of one bound against a contiguous row range."""
+
+    __slots__ = ("lo", "hi", "products")
+
+    def __init__(self, lo: int, hi: int, products: np.ndarray) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.products = products
+
+
+class ProductCache:
+    """Per-query memo of scalar products, keyed by bound ciphertext.
+
+    One instance lives for exactly one query.  Range entries store the
+    products of a bound against a contiguous slice of the column *in
+    current physical order*; the owning column keeps them valid by
+    permuting them through :meth:`apply_order` whenever a crack
+    reorganises rows, and drops everything on structural changes
+    (insert/delete).  This is what lets an edge piece classified by a
+    crack be scanned afterwards without re-multiplying.
+
+    Scalar entries memoise single ``(bound, row_id)`` products for rows
+    living outside the column (the server's pending buffer).
+    """
+
+    def __init__(self) -> None:
+        self._ranges: Dict[object, _CacheEntry] = {}
+        self._scalars: Dict[Tuple[object, int], int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- range products (column rows) ----------------------------------
+
+    def lookup(self, bound, lo: int, hi: int) -> Optional[np.ndarray]:
+        """Cached products for ``[lo, hi)``, or None on a miss."""
+        entry = self._ranges.get(bound)
+        if entry is None or lo < entry.lo or hi > entry.hi:
+            self.misses += hi - lo
+            return None
+        self.hits += hi - lo
+        return entry.products[lo - entry.lo : hi - entry.lo]
+
+    def store(self, bound, lo: int, hi: int, products: np.ndarray) -> None:
+        """Remember products for ``[lo, hi)`` (widest range wins)."""
+        entry = self._ranges.get(bound)
+        if entry is not None and entry.hi - entry.lo >= hi - lo:
+            return
+        self._ranges[bound] = _CacheEntry(lo, hi, products)
+
+    def apply_order(self, lo: int, hi: int, order: np.ndarray) -> None:
+        """Keep entries aligned with a physical permutation of ``[lo, hi)``.
+
+        Entries covering the permuted range are permuted in place;
+        entries that only partially overlap it can no longer be sliced
+        safely and are dropped.
+        """
+        stale = []
+        for bound, entry in self._ranges.items():
+            if entry.hi <= lo or entry.lo >= hi:
+                continue  # disjoint: untouched rows only
+            if entry.lo <= lo and hi <= entry.hi:
+                view = entry.products[lo - entry.lo : hi - entry.lo]
+                entry.products[lo - entry.lo : hi - entry.lo] = view[order]
+            else:
+                stale.append(bound)
+        for bound in stale:
+            del self._ranges[bound]
+
+    def invalidate(self) -> None:
+        """Drop every entry (structural change: insert/delete/swap)."""
+        self._ranges.clear()
+        self._scalars.clear()
+
+    # -- scalar products (pending rows) --------------------------------
+
+    def lookup_scalar(self, bound, row_id: int) -> Optional[int]:
+        """Cached single product for ``(bound, row_id)``, or None."""
+        product = self._scalars.get((bound, row_id))
+        if product is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return product
+
+    def store_scalar(self, bound, row_id: int, product: int) -> None:
+        """Memoise a single product for a row outside the column."""
+        self._scalars[(bound, row_id)] = product

@@ -1,0 +1,342 @@
+"""Tests for the two-tier scalar-product kernel (repro.linalg.kernels).
+
+The load-bearing claim: the int64 fast path is taken only when the
+``max_abs`` magnitude bound *proves* the products cannot overflow, and
+whenever it is taken the result is bit-for-bit identical to the exact
+object-dtype path — on randomized inputs and on adversarial inputs
+straddling the int64 overflow boundary.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.encrypted_column import EncryptedColumn
+from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
+from repro.linalg.kernels import (
+    INT64_MAX,
+    KernelCounters,
+    ProductCache,
+    kernel_disabled,
+    matrix_products,
+    products_fit_int64,
+    single_product,
+)
+
+
+def _column(rows_components):
+    return EncryptedColumn([ValueCiphertext(tuple(r)) for r in rows_components])
+
+
+def _exact_products(rows_components, vector):
+    return [sum(a * b for a, b in zip(row, vector)) for row in rows_components]
+
+
+class TestOverflowProof:
+    def test_fits_at_exact_boundary(self):
+        # length * a_max * b_max == INT64_MAX is still safe ...
+        assert products_fit_int64(1, INT64_MAX, 1)
+        assert products_fit_int64(1, 1, INT64_MAX)
+        a = 2 ** 31
+        b = INT64_MAX // (2 * a)
+        assert products_fit_int64(2, a, b)
+
+    def test_rejects_just_past_boundary(self):
+        assert not products_fit_int64(1, INT64_MAX + 1, 1)
+        assert not products_fit_int64(2, 2 ** 31, 2 ** 31)
+        assert not products_fit_int64(1, INT64_MAX, 2)
+
+    def test_empty_vectors_always_fit(self):
+        assert products_fit_int64(0, 10 ** 100, 10 ** 100)
+
+    def test_huge_operands_never_fast(self):
+        assert not products_fit_int64(4, 2 ** 70, 1)
+
+
+class TestMatrixProductsEquivalence:
+    def _check(self, rows_components, vector):
+        expected = _exact_products(rows_components, vector)
+        column = _column(rows_components)
+        bound = BoundCiphertext(tuple(vector))
+        on = column.products(0, len(rows_components), bound)
+        with kernel_disabled():
+            off = column.products(0, len(rows_components), bound)
+        assert [int(x) for x in on] == expected
+        assert [int(x) for x in off] == expected
+        return column
+
+    def test_small_random(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            length = rng.randint(1, 6)
+            rows = [
+                [rng.randint(-(2 ** 20), 2 ** 20) for _ in range(length)]
+                for _ in range(rng.randint(1, 30))
+            ]
+            vector = [rng.randint(-(2 ** 20), 2 ** 20) for _ in range(length)]
+            column = self._check(rows, vector)
+            assert column.kernel_counters.fast_products > 0
+            assert column.kernel_counters.exact_products == len(rows)
+
+    def test_adversarial_near_overflow_fast_side(self):
+        # All partial sums push right up against the proven bound:
+        # 4 * a * b == INT64_MAX - 3, every component at max magnitude.
+        a = 2 ** 31
+        b = (INT64_MAX - 3) // (4 * a)
+        assert products_fit_int64(4, a, b)
+        rows = [[a, a, a, a], [-a, -a, -a, -a], [a, -a, a, -a]]
+        vector = [b, b, b, b]
+        column = self._check(rows, vector)
+        assert column.kernel_counters.fast_products == 3
+
+    def test_adversarial_just_past_overflow_takes_exact_path(self):
+        # One more doubling would wrap int64; the proof must demote the
+        # kernel and the result must still be exact.
+        a = 2 ** 32
+        b = 2 ** 31
+        assert not products_fit_int64(4, a, b)
+        rows = [[a, a, a, a], [a, -a, a, -a]]
+        vector = [b, b, b, b]
+        column = self._check(rows, vector)
+        assert column.kernel_counters.fast_products == 0
+        assert 4 * a * b > INT64_MAX  # really would have overflowed
+
+    def test_bigint_rows_take_exact_path(self):
+        rows = [[2 ** 80, -(2 ** 81)], [3 ** 60, 5 ** 40]]
+        vector = [2 ** 70, 1]
+        column = self._check(rows, vector)
+        assert column.kernel_counters.fast_products == 0
+        assert column.kernel_counters.exact_products == 4
+
+    @settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        st.integers(1, 5).flatmap(
+            lambda length: st.tuples(
+                st.lists(
+                    st.lists(
+                        st.integers(-(2 ** 70), 2 ** 70),
+                        min_size=length,
+                        max_size=length,
+                    ),
+                    min_size=1,
+                    max_size=12,
+                ),
+                st.lists(
+                    st.integers(-(2 ** 70), 2 ** 70),
+                    min_size=length,
+                    max_size=length,
+                ),
+            )
+        )
+    )
+    def test_property_fast_equals_exact(self, rows_and_vector):
+        rows, vector = rows_and_vector
+        self._check(rows, vector)
+
+    def test_counters_via_matrix_products_direct(self):
+        matrix = np.empty((2, 2), dtype=object)
+        matrix[0] = [1, 2]
+        matrix[1] = [3, 4]
+        mirror = matrix.astype(np.int64)
+        counters = KernelCounters()
+        out = matrix_products(matrix, mirror, (5, 6), 4, 6, counters)
+        assert out.tolist() == [17, 39]
+        assert counters.fast_products == 2
+        out = matrix_products(matrix, None, (5, 6), 4, 6, counters)
+        assert out.tolist() == [17, 39]
+        assert counters.exact_products == 2
+
+
+class TestSingleProduct:
+    def test_matches_dot_and_counts_tier(self):
+        counters = KernelCounters()
+        assert single_product((1, 2), (3, 4), 2, 4, counters) == 11
+        assert counters.fast_products == 1
+        assert single_product((2 ** 70, 1), (1, 1), 2 ** 70, 1, counters) == 2 ** 70 + 1
+        assert counters.exact_products == 1
+
+
+class TestMirrorMaintenance:
+    """The int64 mirror must stay aligned through every reorganisation."""
+
+    def _random_column(self, rng, n=40, length=3, magnitude=2 ** 18):
+        rows = [
+            [rng.randint(-magnitude, magnitude) for _ in range(length)]
+            for _ in range(n)
+        ]
+        return rows, _column(rows)
+
+    def _assert_consistent(self, column, bound):
+        on = column.products(0, len(column), bound)
+        with kernel_disabled():
+            off = column.products(0, len(column), bound)
+        assert [int(x) for x in on] == [int(x) for x in off]
+
+    def test_after_cracks(self):
+        rng = random.Random(1)
+        __, column = self._random_column(rng)
+        for _ in range(6):
+            bound = BoundCiphertext(tuple(rng.randint(-100, 100) for _ in range(3)))
+            lo = rng.randint(0, len(column) - 2)
+            hi = rng.randint(lo + 1, len(column))
+            column.crack(lo, hi, bound, inclusive=bool(rng.getrandbits(1)))
+            self._assert_consistent(
+                column, BoundCiphertext(tuple(rng.randint(-50, 50) for _ in range(3)))
+            )
+
+    def test_after_insert_and_delete(self):
+        rng = random.Random(2)
+        __, column = self._random_column(rng, n=10)
+        probe = BoundCiphertext((3, -1, 7))
+        column.products(0, len(column), probe)  # build the mirror
+        column.insert_at(4, ValueCiphertext((9, 9, 9)), row_id=1000)
+        self._assert_consistent(column, probe)
+        column.delete_at(2)
+        self._assert_consistent(column, probe)
+
+    def test_bigint_insert_demotes_mirror(self):
+        rng = random.Random(3)
+        __, column = self._random_column(rng, n=8)
+        probe = BoundCiphertext((1, 1, 1))
+        column.products(0, len(column), probe)
+        column.insert_at(0, ValueCiphertext((2 ** 80, 0, 0)), row_id=500)
+        assert column.max_abs >= 2 ** 80
+        products = column.products(0, len(column), probe)
+        assert int(products[0]) == 2 ** 80
+        assert column.kernel_counters.exact_products >= len(column)
+
+    def test_inplace_crack_keeps_mirror_aligned(self):
+        rng = random.Random(4)
+        rows = [[rng.randint(-100, 100) for _ in range(3)] for _ in range(30)]
+        column = EncryptedColumn(
+            [ValueCiphertext(tuple(r)) for r in rows], use_inplace_algorithm=True
+        )
+        probe = BoundCiphertext((2, -3, 5))
+        column.products(0, len(column), probe)  # build mirror
+        column.crack(0, len(column), BoundCiphertext((1, 2, -1)), inclusive=False)
+        self._assert_consistent(column, probe)
+
+
+class TestCrackEquivalence:
+    """Kernel on/off must produce identical physical reorganisations."""
+
+    def test_identical_row_order_and_splits(self):
+        rng = random.Random(5)
+        rows = [[rng.randint(-(2 ** 20), 2 ** 20) for _ in range(4)] for _ in range(60)]
+        on_column = _column(rows)
+        off_column = _column(rows)
+        for _ in range(8):
+            bound = BoundCiphertext(
+                tuple(rng.randint(-(2 ** 10), 2 ** 10) for _ in range(4))
+            )
+            inclusive = bool(rng.getrandbits(1))
+            lo = rng.randint(0, 30)
+            hi = rng.randint(lo + 2, 60)
+            split_on = on_column.crack(lo, hi, bound, inclusive)
+            with kernel_disabled():
+                split_off = off_column.crack(lo, hi, bound, inclusive)
+            assert split_on == split_off
+            assert on_column.row_ids.tolist() == off_column.row_ids.tolist()
+        assert on_column.kernel_counters.fast_products > 0
+        assert off_column.kernel_counters.fast_products == 0
+
+
+class TestProductCache:
+    def test_lookup_store_and_slice(self):
+        cache = ProductCache()
+        bound = BoundCiphertext((1, 2))
+        assert cache.lookup(bound, 0, 4) is None
+        cache.store(bound, 0, 4, np.array([1, 2, 3, 4], dtype=object))
+        hit = cache.lookup(bound, 1, 3)
+        assert [int(x) for x in hit] == [2, 3]
+        assert cache.hits == 2 and cache.misses == 4
+
+    def test_apply_order_permutes_covering_entries(self):
+        cache = ProductCache()
+        bound = BoundCiphertext((1,))
+        cache.store(bound, 0, 4, np.array([10, 20, 30, 40], dtype=object))
+        cache.apply_order(1, 3, np.array([1, 0]))
+        hit = cache.lookup(bound, 0, 4)
+        assert [int(x) for x in hit] == [10, 30, 20, 40]
+
+    def test_apply_order_drops_partial_overlap(self):
+        cache = ProductCache()
+        bound = BoundCiphertext((1,))
+        cache.store(bound, 2, 6, np.array([1, 2, 3, 4], dtype=object))
+        cache.apply_order(0, 4, np.arange(4))  # overlaps [2, 4) only
+        assert cache.lookup(bound, 2, 6) is None
+
+    def test_scalar_memo(self):
+        cache = ProductCache()
+        bound = BoundCiphertext((1, 1))
+        assert cache.lookup_scalar(bound, 7) is None
+        cache.store_scalar(bound, 7, 0)  # zero products must still hit
+        assert cache.lookup_scalar(bound, 7) == 0
+        assert cache.hits == 1
+
+    def test_column_reuses_crack_products_for_edge_scan(self):
+        """The motivating flow: crack classifies a piece, then the edge
+        scan over a sub-range of it must reuse (permuted) products."""
+        rng = random.Random(6)
+        rows = [[rng.randint(-(2 ** 16), 2 ** 16) for _ in range(3)] for _ in range(50)]
+        column = _column(rows)
+        bound = BoundCiphertext((5, -2, 3))
+        cache = ProductCache()
+        with column.use_product_cache(cache):
+            split = column.crack(0, 50, bound, inclusive=False)
+            reference = _exact_products(
+                [column.row(i).numerators for i in range(split, 50)], bound.vector
+            )
+            reused = column.products(split, 50, bound)
+        assert cache.hits == 50 - split
+        assert [int(x) for x in reused] == reference
+
+
+class TestEngineLevelEquivalence:
+    """End-to-end: kernel on/off and the cache agree on query results."""
+
+    def test_adaptive_engine_results_identical(self, key4):
+        from repro.core.query import EncryptedBound, EncryptedQuery
+        from repro.core.secure_index import SecureAdaptiveIndex
+        from repro.crypto.scheme import Encryptor
+
+        values = [int(v) for v in np.random.default_rng(8).permutation(300)]
+
+        def run(disabled):
+            encryptor = Encryptor(
+                key4, seed=9, multiplier_bound=4, noise_magnitude=4
+            )
+            column = EncryptedColumn([encryptor.encrypt_value(v) for v in values])
+            engine = SecureAdaptiveIndex(column, min_piece_size=16)
+            rng = random.Random(10)
+            results = []
+            for _ in range(40):
+                low = rng.randrange(0, 280)
+                high = low + rng.randrange(1, 40)
+                query = EncryptedQuery(
+                    low=EncryptedBound(
+                        eb=encryptor.encrypt_bound(low),
+                        ev=encryptor.encrypt_value(low),
+                    ),
+                    high=EncryptedBound(
+                        eb=encryptor.encrypt_bound(high),
+                        ev=encryptor.encrypt_value(high),
+                    ),
+                )
+                if disabled:
+                    with kernel_disabled():
+                        row_ids, __ = engine.query(query)
+                else:
+                    row_ids, __ = engine.query(query)
+                results.append(sorted(int(i) for i in row_ids))
+            engine.check_invariants()
+            return results, engine.stats_log
+
+        on_results, on_stats = run(disabled=False)
+        off_results, off_stats = run(disabled=True)
+        assert on_results == off_results
+        assert sum(s.kernel_fast_products for s in on_stats) > 0
+        assert sum(s.kernel_fast_products for s in off_stats) == 0
+        assert sum(s.kernel_exact_products for s in off_stats) > 0
