@@ -26,6 +26,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.store` — the column-store substrate and update buffer.
 * :mod:`repro.workloads` — datasets and query workload generators.
 * :mod:`repro.analysis` — order-leakage metrics (Section 4.1).
+* :mod:`repro.obs` — tracing, metrics, and leakage auditing
+  (``docs/observability.md``).
 * :mod:`repro.bench` — the harness regenerating every figure of the
   paper's evaluation.
 """
@@ -40,6 +42,7 @@ from repro.core import (
 )
 from repro.cracking import AdaptiveIndex, FullScanIndex, FullSortIndex
 from repro.crypto import Encryptor, SecretKey, generate_key
+from repro.obs import Observability
 
 __version__ = "1.0.0"
 
@@ -56,5 +59,6 @@ __all__ = [
     "Encryptor",
     "SecretKey",
     "generate_key",
+    "Observability",
     "__version__",
 ]

@@ -16,6 +16,12 @@ quantitative:
   agrees on the order, which is exactly the paper's claim that
   ambiguity keeps a record's position uncertain "even when that record
   of interest is identified".
+
+The :func:`audit_piece_boundaries` / :func:`audit_crack_events` helpers
+bridge this analysis to the server-side
+:class:`~repro.obs.audit.AuditLog`: instead of reasoning about what a
+curious server *could* see, they compute the same metrics from the
+record of what it actually *did* see.
 """
 
 from __future__ import annotations
@@ -103,6 +109,56 @@ def ambiguous_resolved_order_fraction(
         if max(pieces_x) < min(pieces_y) or max(pieces_y) < min(pieces_x):
             resolved += 1
     return resolved / sample_pairs
+
+
+def audit_crack_events(events: Sequence) -> List:
+    """The crack events of an audit trace.
+
+    Accepts :class:`~repro.obs.audit.AuditEvent` objects or their
+    ``to_dict`` form.  One event is recorded per crack *operation*
+    (a three-way crack is one event carrying two splits), so the event
+    count equals the ``cracks`` total of the engine's
+    :class:`~repro.cracking.index.QueryStats` log.
+    """
+    out = []
+    for event in events:
+        kind = event["event"] if isinstance(event, dict) else event.kind
+        if kind == "crack":
+            out.append(event)
+    return out
+
+
+def audit_piece_boundaries(events: Sequence, total_rows: int) -> List[int]:
+    """Piece boundaries reconstructed from an audit trace.
+
+    Every crack event carries the physical split positions the server
+    observed; their union (plus the column ends) is the piece structure
+    an honest-but-curious server knows.  For a query-only workload this
+    is *exactly* ``piece_boundaries()`` of the engine — crack positions
+    never move once created.  Inserts/deletes shift physical positions,
+    so for mixed workloads this reconstruction is the (conservative)
+    view of an adversary that does not re-derive the shifts; feed the
+    result to :func:`resolved_order_fraction` for a leakage figure
+    grounded in the actual trace.
+    """
+    splits = set()
+    for event in audit_crack_events(events):
+        data = event if isinstance(event, dict) else event.data
+        for split in data["splits"]:
+            splits.add(int(split))
+    return [0] + sorted(s for s in splits if 0 < s < total_rows) + [total_rows]
+
+
+def predicted_crack_events(stats_log: Sequence) -> int:
+    """Crack-event count the audit log of a workload must contain.
+
+    Sums ``cracks`` over a :class:`~repro.cracking.index.QueryStats`
+    log; by construction (one audit event per crack operation) an audit
+    log recorded alongside the same workload has exactly this many
+    ``"crack"`` events — the cross-check the observability tests
+    enforce.
+    """
+    return sum(stats.cracks for stats in stats_log)
 
 
 def leakage_series(

@@ -9,6 +9,7 @@ under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Dict, List, Sequence
 
@@ -95,6 +96,29 @@ def save_report(name: str, content: str, directory: str = None) -> str:
     with open(path, "w") as handle:
         handle.write(content.rstrip() + "\n")
     return path
+
+
+def save_obs_artifacts(name: str, obs, directory: str = None) -> List[str]:
+    """Persist a run's observability next to its ``BENCH_*`` report.
+
+    Writes ``<name>.metrics.json`` (the registry snapshot) and, when
+    the tracer recorded any spans, ``<name>.trace.jsonl``.  Returns the
+    written paths.  These are the artifacts CI uploads from the
+    observability smoke benchmark.
+    """
+    directory = directory or RESULTS_DIR
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    metrics_path = os.path.join(directory, "%s.metrics.json" % name)
+    with open(metrics_path, "w") as handle:
+        json.dump(obs.snapshot(), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    paths.append(metrics_path)
+    if obs.tracer.spans:
+        trace_path = os.path.join(directory, "%s.trace.jsonl" % name)
+        obs.tracer.dump_jsonl(trace_path)
+        paths.append(trace_path)
+    return paths
 
 
 def ascii_chart(

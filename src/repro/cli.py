@@ -1,11 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common operator flows:
+Six subcommands cover the common operator flows:
 
 * ``demo``   — a self-contained end-to-end demonstration (synthetic
   data, a query burst, adaptation statistics).
 * ``query``  — outsource a numeric column from a file and run range /
-  point queries against it.
+  point queries against it (``--stats`` adds protocol and kernel
+  totals).
+* ``stats``  — run a workload and print the full metrics snapshot
+  (counters, gauges, histogram summaries; ``--json`` for machines).
+* ``trace``  — run a workload with span tracing enabled and write the
+  JSONL trace (plus a per-span-name summary on stdout).
 * ``sql``    — load one or more CSV tables (encrypted by default) and
   execute a SQL statement from the supported subset.
 * ``keygen`` — generate a secret key and print its JSON serialization
@@ -18,6 +23,7 @@ text and returns a process exit code, so it is scriptable.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
@@ -55,22 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
     query = commands.add_parser(
         "query", help="outsource a column file and run queries"
     )
-    query.add_argument("file", help="text file, one integer per line")
+    _add_workload_args(query)
     query.add_argument(
-        "--range", nargs=2, type=int, action="append", metavar=("LOW", "HIGH"),
-        dest="ranges", default=[], help="range query (repeatable)",
+        "--stats", action="store_true",
+        help="print protocol and kernel totals after the queries",
     )
-    query.add_argument(
-        "--point", type=int, action="append", dest="points", default=[],
-        help="equality query (repeatable)",
+
+    stats = commands.add_parser(
+        "stats", help="run a workload and print the metrics snapshot"
     )
-    query.add_argument(
-        "--workload", help="replay a JSON workload trace file"
+    _add_workload_args(stats)
+    stats.add_argument("--json", action="store_true",
+                       help="emit the snapshot as JSON")
+
+    trace = commands.add_parser(
+        "trace", help="run a workload with tracing and dump JSONL spans"
     )
-    query.add_argument("--ambiguity", action="store_true")
-    query.add_argument("--engine", choices=("adaptive", "scan"),
-                       default="adaptive")
-    query.add_argument("--seed", type=int, default=0)
+    _add_workload_args(trace)
+    trace.add_argument("--output", default="trace.jsonl",
+                       help="JSONL file to write spans to")
 
     sql = commands.add_parser("sql", help="run SQL over CSV tables")
     sql.add_argument(
@@ -100,6 +109,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         handler = {
             "demo": _run_demo,
             "query": _run_query,
+            "stats": _run_stats,
+            "trace": _run_trace,
             "sql": _run_sql,
             "keygen": _run_keygen,
         }[args.command]
@@ -145,20 +156,51 @@ def _run_demo(args) -> int:
     return 0
 
 
-def _run_query(args) -> int:
+def _add_workload_args(parser) -> None:
+    """The shared column-file-plus-queries arguments."""
+    parser.add_argument("file", help="text file, one integer per line")
+    parser.add_argument(
+        "--range", nargs=2, type=int, action="append", metavar=("LOW", "HIGH"),
+        dest="ranges", default=[], help="range query (repeatable)",
+    )
+    parser.add_argument(
+        "--point", type=int, action="append", dest="points", default=[],
+        help="equality query (repeatable)",
+    )
+    parser.add_argument(
+        "--workload", help="replay a JSON workload trace file"
+    )
+    parser.add_argument("--ambiguity", action="store_true")
+    parser.add_argument("--engine", choices=("adaptive", "scan"),
+                       default="adaptive")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_db(args, obs=None) -> OutsourcedDatabase:
     values = _read_column(args.file)
     db = OutsourcedDatabase(
-        values, ambiguity=args.ambiguity, engine=args.engine, seed=args.seed
+        values, ambiguity=args.ambiguity, engine=args.engine, seed=args.seed,
+        obs=obs,
     )
     print("outsourced %d values from %s" % (len(values), args.file))
+    return db
+
+
+def _execute_workload(db: OutsourcedDatabase, args, verbose: bool = True) -> int:
+    """Run the requested queries; returns how many were executed."""
+    executed = 0
     for low, high in args.ranges:
         result = db.query(low, high)
-        print("range [%d, %d]: %d rows -> %s"
-              % (low, high, len(result.values),
-                 _preview(np.sort(result.values))))
+        executed += 1
+        if verbose:
+            print("range [%d, %d]: %d rows -> %s"
+                  % (low, high, len(result.values),
+                     _preview(np.sort(result.values))))
     for point in args.points:
         result = db.query_point(point)
-        print("point %d: %d rows" % (point, len(result.values)))
+        executed += 1
+        if verbose:
+            print("point %d: %d rows" % (point, len(result.values)))
     if args.workload:
         from repro.workloads.trace import load_workload
 
@@ -167,13 +209,52 @@ def _run_query(args) -> int:
         total_rows = 0
         for trace_query in queries:
             total_rows += len(db.query(*trace_query.as_args()).values)
+        executed += len(queries)
         print(
             "replayed %d-query trace in %.3fs (%d rows returned)"
             % (len(queries), time.perf_counter() - tick, total_rows)
         )
-    if not args.ranges and not args.points and not args.workload:
+    if not executed:
         print("no queries given; use --range LOW HIGH, --point VALUE, "
               "or --workload TRACE.json")
+    return executed
+
+
+def _run_query(args) -> int:
+    db = _build_db(args)
+    _execute_workload(db, args)
+    if args.stats:
+        metrics = db.obs.metrics
+        print("protocol: %d round trips, %d bytes sent, %d bytes received"
+              % (db.round_trips, db.bytes_sent, db.bytes_received))
+        print("kernel:   %d fast products, %d exact products, %d cache hits"
+              % (metrics.counter_value("kernel.fast_products"),
+                 metrics.counter_value("kernel.exact_products"),
+                 metrics.counter_value("kernel.cache_hits")))
+    return 0
+
+
+def _run_stats(args) -> int:
+    db = _build_db(args)
+    _execute_workload(db, args, verbose=False)
+    if args.json:
+        print(json.dumps(db.obs.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(db.obs.metrics.render())
+    return 0
+
+
+def _run_trace(args) -> int:
+    from repro.obs import Observability
+
+    obs = Observability(tracing=True)
+    db = _build_db(args, obs=obs)
+    _execute_workload(db, args, verbose=False)
+    obs.tracer.dump_jsonl(args.output)
+    print("wrote %d spans to %s" % (len(obs.tracer.spans), args.output))
+    for name, entry in sorted(obs.tracer.summary().items()):
+        print("  %-16s %5d spans  %.6fs" % (name, entry["count"],
+                                            entry["seconds"]))
     return 0
 
 

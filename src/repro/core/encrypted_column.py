@@ -42,6 +42,7 @@ from repro.linalg.kernels import (
     ProductCache,
     matrix_products,
 )
+from repro.obs import Observability
 
 
 class EncryptedColumn:
@@ -56,6 +57,11 @@ class EncryptedColumn:
             reorganisation.
         use_inplace_algorithm: route cracks through the
             pointer-faithful Algorithm 1 (slower; fidelity tests).
+        obs: observability bundle shared with the owning engine/server;
+            a private one is created when omitted.  The column binds
+            its kernel counters to the bundle's metrics registry and
+            emits ``kernel-product`` spans / ``products`` audit events
+            from :meth:`products`.
     """
 
     def __init__(
@@ -63,6 +69,7 @@ class EncryptedColumn:
         rows: Sequence[ValueCiphertext],
         row_ids: Sequence[int] = None,
         use_inplace_algorithm: bool = False,
+        obs: Observability = None,
     ) -> None:
         rows = list(rows)
         if rows:
@@ -100,8 +107,14 @@ class EncryptedColumn:
         # the per-query product cache slot.
         self._max_abs = max((row.max_abs for row in rows), default=0)
         self._mirror: Optional[np.ndarray] = None
-        self.kernel_counters = KernelCounters()
+        self._obs = obs if obs is not None else Observability()
+        self.kernel_counters = KernelCounters(metrics=self._obs.metrics)
         self._product_cache: Optional[ProductCache] = None
+
+    @property
+    def obs(self) -> Observability:
+        """The column's observability bundle (engines adopt it)."""
+        return self._obs
 
     def __len__(self) -> int:
         return self._matrix.shape[0]
@@ -154,19 +167,31 @@ class EncryptedColumn:
         matmul otherwise — the three sources are bit-for-bit identical.
         """
         self._check_range(piece_lo, piece_hi)
+        audit = self._obs.audit
+        if audit.enabled:
+            # The access-pattern observation: which positions were
+            # compared against which (opaque) bound ciphertext.
+            audit.record(
+                "products",
+                bound=audit.ref(bound),
+                lo=piece_lo,
+                hi=piece_hi,
+                rows=piece_hi - piece_lo,
+            )
         cache = self._product_cache
         if cache is not None:
             cached = cache.lookup(bound, piece_lo, piece_hi)
             if cached is not None:
                 return cached
-        products = matrix_products(
-            self._matrix[piece_lo:piece_hi],
-            self._mirror_slice(piece_lo, piece_hi),
-            bound.vector,
-            self._max_abs,
-            bound.max_abs,
-            self.kernel_counters,
-        )
+        with self._obs.span("kernel-product", rows=piece_hi - piece_lo):
+            products = matrix_products(
+                self._matrix[piece_lo:piece_hi],
+                self._mirror_slice(piece_lo, piece_hi),
+                bound.vector,
+                self._max_abs,
+                bound.max_abs,
+                self.kernel_counters,
+            )
         if cache is not None:
             cache.store(bound, piece_lo, piece_hi, products)
         return products

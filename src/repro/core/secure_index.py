@@ -25,7 +25,11 @@ import numpy as np
 
 from repro.cracking.avl import AVLTree
 from repro.cracking.cracker_tree import add_crack, find_piece
-from repro.cracking.index import QueryStats, _BoundResolution
+from repro.cracking.index import (
+    MeteredQueryStats,
+    QueryStats,
+    _BoundResolution,
+)
 from repro.core.encrypted_avl import add_crack_encrypted, find_piece_encrypted
 from repro.core.encrypted_column import EncryptedColumn
 from repro.core.query import (
@@ -36,6 +40,7 @@ from repro.core.query import (
 )
 from repro.errors import IndexStateError
 from repro.linalg.kernels import ProductCache, single_product
+from repro.obs import Observability
 
 
 class SecureAdaptiveIndex:
@@ -53,6 +58,12 @@ class SecureAdaptiveIndex:
             the generic helpers (identical results; fidelity mode).
         record_stats: append per-query :class:`QueryStats` to
             :attr:`stats_log`.
+        obs: observability bundle (tracing + metrics + audit); the
+            engine adopts its column's bundle when omitted, so kernel
+            tier accounting and engine accounting always share one
+            metrics registry.  Metric counters are recorded regardless
+            of ``record_stats`` — that flag only controls the
+            :attr:`stats_log` view.
     """
 
     def __init__(
@@ -62,6 +73,7 @@ class SecureAdaptiveIndex:
         use_three_way: bool = False,
         use_paper_tree_algorithms: bool = False,
         record_stats: bool = True,
+        obs: Observability = None,
     ) -> None:
         self._column = column
         self._tree = AVLTree(compare_encrypted_keys)
@@ -69,7 +81,13 @@ class SecureAdaptiveIndex:
         self._use_three_way = use_three_way
         self._use_paper_algorithms = use_paper_tree_algorithms
         self._record_stats = record_stats
+        self._obs = obs if obs is not None else column.obs
         self.stats_log: List[QueryStats] = []
+
+    @property
+    def obs(self) -> Observability:
+        """The engine's observability bundle."""
+        return self._obs
 
     def __len__(self) -> int:
         return len(self._column)
@@ -126,13 +144,14 @@ class SecureAdaptiveIndex:
         reorganisation); kernel tier counts and cache hits land on the
         query's :class:`QueryStats`.
         """
-        stats = QueryStats()
+        stats = MeteredQueryStats(self._obs.metrics)
         fast_before, exact_before = self._column.kernel_counters.snapshot()
         tree_comparisons_before = self._tree.comparison_count
-        with self._column.use_product_cache(ProductCache()) as cache:
-            for pivot in query.pivots:
-                self._crack_pivot(pivot, stats)
-            indices = self._execute(query, stats)
+        with self._obs.span("engine-query", pivots=len(query.pivots)):
+            with self._column.use_product_cache(ProductCache()) as cache:
+                for pivot in query.pivots:
+                    self._crack_pivot(pivot, stats)
+                indices = self._execute(query, stats)
         stats.comparisons += (
             self._tree.comparison_count - tree_comparisons_before
         )
@@ -140,6 +159,10 @@ class SecureAdaptiveIndex:
         stats.kernel_fast_products = fast_after - fast_before
         stats.kernel_exact_products = exact_after - exact_before
         stats.product_cache_hits = cache.hits
+        metrics = self._obs.metrics
+        metrics.observe("query.cracks_per_query", stats.cracks)
+        metrics.set("index.avl_depth", self._tree.height())
+        metrics.set("index.pieces", len(self._tree) + 1)
         return indices, stats
 
     def _execute(self, query: EncryptedQuery, stats: QueryStats) -> np.ndarray:
@@ -186,23 +209,41 @@ class SecureAdaptiveIndex:
     ) -> _BoundResolution:
         """Exact crack position for ``key``, cracking the piece if needed."""
         size = len(self._column)
+        audit = self._obs.audit
         tick = time.perf_counter()
-        node = self._tree.find(key)
-        if node is None:
-            piece_lo, piece_hi = self._find_piece(key, size)
+        with self._obs.span("find-piece"):
+            node = self._tree.find(key)
+            if node is None:
+                piece_lo, piece_hi = self._find_piece(key, size)
         stats.search_seconds += time.perf_counter() - tick
         if node is not None:
+            if audit.enabled:
+                audit.record("find", bound=audit.ref(key.bound.eb),
+                             position=node.position)
             return _BoundResolution(position=node.position)
+        if audit.enabled:
+            audit.record("find", bound=audit.ref(key.bound.eb),
+                         lo=piece_lo, hi=piece_hi)
         if piece_hi - piece_lo <= self._min_piece:
             return _BoundResolution(piece=(piece_lo, piece_hi))
+        rows = piece_hi - piece_lo
         tick = time.perf_counter()
-        split = self._column.crack(piece_lo, piece_hi, key.bound.eb, key.inclusive)
+        with self._obs.span("crack", lo=piece_lo, hi=piece_hi, rows=rows):
+            split = self._column.crack(
+                piece_lo, piece_hi, key.bound.eb, key.inclusive
+            )
         stats.crack_seconds += time.perf_counter() - tick
-        stats.cracked_rows += piece_hi - piece_lo
+        stats.cracked_rows += rows
         stats.cracks += 1
-        stats.comparisons += piece_hi - piece_lo
+        stats.comparisons += rows
+        self._obs.metrics.observe("index.piece_rows", rows)
+        if audit.enabled:
+            audit.record("crack", lo=piece_lo, hi=piece_hi, splits=[split],
+                         bound=audit.ref(key.bound.eb),
+                         inclusive=key.inclusive)
         tick = time.perf_counter()
-        self._add_crack(key, split, size)
+        with self._obs.span("insert-bound", position=split):
+            self._add_crack(key, split, size)
         stats.insert_seconds += time.perf_counter() - tick
         return _BoundResolution(position=split)
 
@@ -229,22 +270,35 @@ class SecureAdaptiveIndex:
         piece_lo, piece_hi = left_piece
         if piece_hi - piece_lo <= self._min_piece:
             return None
+        rows = piece_hi - piece_lo
+        audit = self._obs.audit
         tick = time.perf_counter()
-        split0, split1 = self._column.crack_three(
-            piece_lo,
-            piece_hi,
-            query.low.eb,
-            query.low_inclusive,
-            query.high.eb,
-            query.high_inclusive,
-        )
+        with self._obs.span("crack", lo=piece_lo, hi=piece_hi, rows=rows,
+                            three_way=True):
+            split0, split1 = self._column.crack_three(
+                piece_lo,
+                piece_hi,
+                query.low.eb,
+                query.low_inclusive,
+                query.high.eb,
+                query.high_inclusive,
+            )
         stats.crack_seconds += time.perf_counter() - tick
-        stats.cracked_rows += piece_hi - piece_lo
+        stats.cracked_rows += rows
         stats.cracks += 1
-        stats.comparisons += 2 * (piece_hi - piece_lo)
+        stats.comparisons += 2 * rows
+        self._obs.metrics.observe("index.piece_rows", rows)
+        if audit.enabled:
+            audit.record("crack", lo=piece_lo, hi=piece_hi,
+                         splits=[split0, split1],
+                         bound=audit.ref(query.low.eb),
+                         bound_high=audit.ref(query.high.eb),
+                         three_way=True)
         tick = time.perf_counter()
-        self._add_crack(left_key, split0, size)
-        self._add_crack(right_key, split1, size)
+        with self._obs.span("insert-bound", position=split0):
+            self._add_crack(left_key, split0, size)
+        with self._obs.span("insert-bound", position=split1):
+            self._add_crack(right_key, split1, size)
         stats.insert_seconds += time.perf_counter() - tick
         return split0, split1
 
@@ -252,17 +306,24 @@ class SecureAdaptiveIndex:
         tick = time.perf_counter()
         low_eb = query.low.eb if query.low is not None else None
         high_eb = query.high.eb if query.high is not None else None
-        indices = self._column.scan_qualifying(
-            piece[0],
-            piece[1],
-            low_eb,
-            query.low_inclusive,
-            high_eb,
-            query.high_inclusive,
-        )
+        with self._obs.span("edge-scan", lo=piece[0], hi=piece[1]):
+            indices = self._column.scan_qualifying(
+                piece[0],
+                piece[1],
+                low_eb,
+                query.low_inclusive,
+                high_eb,
+                query.high_inclusive,
+            )
         stats.scan_seconds += time.perf_counter() - tick
         sides = (low_eb is not None) + (high_eb is not None)
         stats.comparisons += sides * (piece[1] - piece[0])
+        audit = self._obs.audit
+        if audit.enabled:
+            audit.record("scan", lo=piece[0], hi=piece[1],
+                         bound=audit.ref(low_eb),
+                         bound_high=audit.ref(high_eb),
+                         matched=len(indices))
         return indices
 
     def _find_piece(self, key: EncryptedBoundKey, size: int) -> Tuple[int, int]:
@@ -315,11 +376,16 @@ class SecureAdaptiveIndex:
         shifts every crack position at or beyond it by one, keeping all
         tree invariants intact.
         """
-        __, piece_hi = self.locate_piece_for_row(row)
-        self._column.insert_at(piece_hi, row, row_id)
-        for node in self._tree.in_order():
-            if node.position >= piece_hi:
-                node.position += 1
+        with self._obs.span("ripple-insert", row_id=row_id):
+            __, piece_hi = self.locate_piece_for_row(row)
+            self._column.insert_at(piece_hi, row, row_id)
+            for node in self._tree.in_order():
+                if node.position >= piece_hi:
+                    node.position += 1
+        self._obs.metrics.add("index.ripple_inserts")
+        audit = self._obs.audit
+        if audit.enabled:
+            audit.record("ripple-insert", row_id=row_id, position=piece_hi)
         return piece_hi
 
     def delete_row(self, row_id: int) -> int:
@@ -329,6 +395,10 @@ class SecureAdaptiveIndex:
         for node in self._tree.in_order():
             if node.position > position:
                 node.position -= 1
+        self._obs.metrics.add("index.row_deletes")
+        audit = self._obs.audit
+        if audit.enabled:
+            audit.record("row-delete", row_id=row_id, position=position)
         return position
 
     # -- introspection ----------------------------------------------------------------

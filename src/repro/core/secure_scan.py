@@ -16,17 +16,29 @@ import numpy as np
 
 from repro.core.encrypted_column import EncryptedColumn
 from repro.core.query import EncryptedQuery
-from repro.cracking.index import QueryStats
+from repro.cracking.index import MeteredQueryStats, QueryStats
 from repro.linalg.kernels import ProductCache
+from repro.obs import Observability
 
 
 class SecureScan:
     """Full-column scalar-product scan; never reorganises anything."""
 
-    def __init__(self, column: EncryptedColumn, record_stats: bool = True) -> None:
+    def __init__(
+        self,
+        column: EncryptedColumn,
+        record_stats: bool = True,
+        obs: Observability = None,
+    ) -> None:
         self._column = column
         self._record_stats = record_stats
+        self._obs = obs if obs is not None else column.obs
         self.stats_log: List[QueryStats] = []
+
+    @property
+    def obs(self) -> Observability:
+        """The observability bundle shared with the column."""
+        return self._obs
 
     def __len__(self) -> int:
         return len(self._column)
@@ -45,24 +57,35 @@ class SecureScan:
         """Physical indices of qualifying rows (no side effects)."""
         fast_before, exact_before = self._column.kernel_counters.snapshot()
         tick = time.perf_counter()
-        with self._column.use_product_cache(ProductCache()) as cache:
-            indices = self._column.scan_qualifying(
-                0,
-                len(self._column),
-                query.low.eb if query.low is not None else None,
-                query.low_inclusive,
-                query.high.eb if query.high is not None else None,
-                query.high_inclusive,
+        with self._obs.span("full-scan", rows=len(self._column)):
+            with self._column.use_product_cache(ProductCache()) as cache:
+                indices = self._column.scan_qualifying(
+                    0,
+                    len(self._column),
+                    query.low.eb if query.low is not None else None,
+                    query.low_inclusive,
+                    query.high.eb if query.high is not None else None,
+                    query.high_inclusive,
+                )
+        audit = self._obs.audit
+        if audit.enabled:
+            audit.record(
+                "scan",
+                lo=0,
+                hi=len(self._column),
+                bound=audit.ref(query.low.eb if query.low is not None else None),
+                bound_high=audit.ref(
+                    query.high.eb if query.high is not None else None
+                ),
+                matched=len(indices),
             )
         if self._record_stats:
             fast_after, exact_after = self._column.kernel_counters.snapshot()
-            self.stats_log.append(
-                QueryStats(
-                    scan_seconds=time.perf_counter() - tick,
-                    result_count=len(indices),
-                    kernel_fast_products=fast_after - fast_before,
-                    kernel_exact_products=exact_after - exact_before,
-                    product_cache_hits=cache.hits,
-                )
-            )
+            stats = MeteredQueryStats(self._obs.metrics)
+            stats.scan_seconds = time.perf_counter() - tick
+            stats.result_count = len(indices)
+            stats.kernel_fast_products = fast_after - fast_before
+            stats.kernel_exact_products = exact_after - exact_before
+            stats.product_cache_hits = cache.hits
+            self.stats_log.append(stats)
         return indices

@@ -26,9 +26,13 @@ from repro.core.secure_index import SecureAdaptiveIndex
 from repro.core.secure_scan import SecureScan
 from repro.errors import ProtocolError, UpdateError
 from repro.linalg.kernels import ProductCache, single_product
+from repro.obs import Observability
 from repro.store.updates import PendingUpdates
 
 ENGINES = ("adaptive", "scan")
+
+#: Wire cost of one row id in a response (int64, as serialised).
+ROW_ID_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -37,6 +41,13 @@ class ServerResponse:
 
     row_ids: np.ndarray
     rows: List[ValueCiphertext]
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the response (ciphertext rows plus row ids)."""
+        return sum(row.size_bytes for row in self.rows) + ROW_ID_BYTES * len(
+            self.row_ids
+        )
 
 
 class SecureServer:
@@ -66,13 +77,15 @@ class SecureServer:
         use_three_way: bool = False,
         use_paper_tree_algorithms: bool = False,
         record_stats: bool = True,
+        obs: Observability = None,
     ) -> None:
         if auto_merge_threshold is not None and auto_merge_threshold < 1:
             raise UpdateError("auto-merge threshold must be positive")
         self._auto_merge_threshold = auto_merge_threshold
         if engine not in ENGINES:
             raise ProtocolError("unknown engine %r; pick from %s" % (engine, ENGINES))
-        column = EncryptedColumn(rows, row_ids)
+        self._obs = obs if obs is not None else Observability()
+        column = EncryptedColumn(rows, row_ids, obs=self._obs)
         if engine == "adaptive":
             self._engine = SecureAdaptiveIndex(
                 column,
@@ -80,9 +93,10 @@ class SecureServer:
                 use_three_way=use_three_way,
                 use_paper_tree_algorithms=use_paper_tree_algorithms,
                 record_stats=record_stats,
+                obs=self._obs,
             )
         else:
-            self._engine = SecureScan(column, record_stats=record_stats)
+            self._engine = SecureScan(column, record_stats=record_stats, obs=self._obs)
         self.engine_kind = engine
         if row_ids is None:
             next_id = len(rows)
@@ -96,6 +110,11 @@ class SecureServer:
 
     def __len__(self) -> int:
         return len(self._engine.column) + len(self._updates)
+
+    @property
+    def obs(self) -> Observability:
+        """The observability bundle shared by server, engine, column."""
+        return self._obs
 
     @property
     def engine(self):
@@ -121,28 +140,47 @@ class SecureServer:
         a side effect under the adaptive engine); pending inserts are
         scanned with scalar products; tombstoned rows are filtered out.
         """
-        indices = self._engine.qualifying_indices(query)
-        column = self._engine.column
-        row_ids = column.row_ids_at(indices)
-        live = [
-            (int(row_id), column.row(int(index)))
-            for row_id, index in zip(row_ids, indices)
-            if not self._updates.is_deleted(int(row_id))
-        ]
-        counters = column.kernel_counters
-        fast_before, exact_before = counters.snapshot()
-        pending_cache = ProductCache()
-        for row_id, row in self._updates.pending:
-            if self._updates.is_deleted(row_id):
-                continue
-            if _row_qualifies(row, row_id, query, pending_cache, counters):
-                live.append((row_id, row))
-        self._merge_pending_scan_stats(
-            counters.snapshot(), (fast_before, exact_before), pending_cache
-        )
+        audit = self._obs.audit
+        if audit.enabled:
+            audit.record(
+                "query",
+                bound=audit.ref(query.low.eb if query.low is not None else None),
+                bound_high=audit.ref(
+                    query.high.eb if query.high is not None else None
+                ),
+                pending=len(self._updates),
+            )
+        with self._obs.span("server-execute", pending=len(self._updates)):
+            indices = self._engine.qualifying_indices(query)
+            column = self._engine.column
+            row_ids = column.row_ids_at(indices)
+            live = [
+                (int(row_id), column.row(int(index)))
+                for row_id, index in zip(row_ids, indices)
+                if not self._updates.is_deleted(int(row_id))
+            ]
+            counters = column.kernel_counters
+            fast_before, exact_before = counters.snapshot()
+            pending_cache = ProductCache()
+            with self._obs.span("pending-scan", pending=len(self._updates)):
+                for row_id, row in self._updates.pending:
+                    if self._updates.is_deleted(row_id):
+                        continue
+                    if _row_qualifies(row, row_id, query, pending_cache, counters):
+                        live.append((row_id, row))
+            self._merge_pending_scan_stats(
+                counters.snapshot(), (fast_before, exact_before), pending_cache
+            )
         self.queries_served += 1
         self.rows_shipped += len(live)
-        self.bytes_shipped += sum(row.size_bytes for _, row in live)
+        shipped = sum(row.size_bytes for _, row in live)
+        self.bytes_shipped += shipped
+        metrics = self._obs.metrics
+        metrics.add("server.queries_served")
+        metrics.add("server.rows_shipped", len(live))
+        metrics.add("server.bytes_shipped", shipped)
+        if audit.enabled:
+            audit.record("response", rows=len(live))
         ids = np.array([row_id for row_id, _ in live], dtype=np.int64)
         rows = [row for _, row in live]
         return ServerResponse(row_ids=ids, rows=rows)
@@ -158,6 +196,9 @@ class SecureServer:
         if not rows:
             raise UpdateError("insert requires at least one row")
         assigned = [self._updates.insert(row) for row in rows]
+        self._obs.metrics.add("server.rows_inserted", len(assigned))
+        if self._obs.audit.enabled:
+            self._obs.audit.record("insert", rows=len(assigned))
         if (
             self._auto_merge_threshold is not None
             and len(self._updates) > self._auto_merge_threshold
@@ -169,6 +210,9 @@ class SecureServer:
         """Tombstone rows by physical id."""
         for row_id in row_ids:
             self._updates.delete(int(row_id))
+        self._obs.metrics.add("server.rows_deleted", len(row_ids))
+        if self._obs.audit.enabled:
+            self._obs.audit.record("delete", rows=len(row_ids))
 
     def merge_pending(self) -> int:
         """Fold the pending buffer into the main column; returns row delta.
@@ -179,20 +223,28 @@ class SecureServer:
         Tombstoned rows are physically reclaimed.
         """
         pending, tombstones = self._updates.drain()
-        column = self._engine.column
-        present = set(int(i) for i in column.row_ids)
-        for row_id in sorted(tombstones):
-            if row_id not in present:
-                continue
-            if self.engine_kind == "adaptive":
-                self._engine.delete_row(row_id)
-            else:
-                column.delete_at(column.physical_index_of(row_id))
-        for row_id, row in pending:
-            if self.engine_kind == "adaptive":
-                self._engine.insert_row(row, row_id)
-            else:
-                column.insert_at(len(column), row, row_id)
+        with self._obs.span(
+            "merge-pending", pending=len(pending), tombstones=len(tombstones)
+        ):
+            column = self._engine.column
+            present = set(int(i) for i in column.row_ids)
+            for row_id in sorted(tombstones):
+                if row_id not in present:
+                    continue
+                if self.engine_kind == "adaptive":
+                    self._engine.delete_row(row_id)
+                else:
+                    column.delete_at(column.physical_index_of(row_id))
+            for row_id, row in pending:
+                if self.engine_kind == "adaptive":
+                    self._engine.insert_row(row, row_id)
+                else:
+                    column.insert_at(len(column), row, row_id)
+        self._obs.metrics.add("server.merges")
+        if self._obs.audit.enabled:
+            self._obs.audit.record(
+                "merge", pending=len(pending), tombstones=len(tombstones)
+            )
         return len(pending) - len(tombstones & present)
 
     def _merge_pending_scan_stats(
@@ -203,16 +255,23 @@ class SecureServer:
         The engine appended this query's :class:`QueryStats` inside
         ``qualifying_indices``; the pending-buffer scan happens after
         that, so its products are accounted onto the same entry.
+
+        The per-tier product counts already reached the metrics
+        registry at multiply time (the column's
+        :class:`~repro.linalg.kernels.KernelCounters` is registry-bound),
+        so only the per-query view needs the fold here.  Cache hits are
+        counted client-side of the kernel, so when there is no stats
+        entry to fold into — stats recording off, or an empty log —
+        they are routed to the registry directly instead of being lost.
         """
-        if not getattr(self._engine, "_record_stats", False):
-            return
         log = self._engine.stats_log
-        if not log:
-            return
-        stats = log[-1]
-        stats.kernel_fast_products += after[0] - before[0]
-        stats.kernel_exact_products += after[1] - before[1]
-        stats.product_cache_hits += pending_cache.hits
+        if getattr(self._engine, "_record_stats", False) and log:
+            stats = log[-1]
+            stats.kernel_fast_products += after[0] - before[0]
+            stats.kernel_exact_products += after[1] - before[1]
+            stats.product_cache_hits += pending_cache.hits
+        elif pending_cache.hits:
+            self._obs.metrics.add("kernel.cache_hits", pending_cache.hits)
 
 
 def _pending_product(

@@ -26,6 +26,7 @@ from repro.core.client import ClientResult, TrustedClient
 from repro.core.server import SecureServer
 from repro.crypto.key import SecretKey
 from repro.errors import QueryError, UpdateError
+from repro.obs import Observability
 
 
 class OutsourcedDatabase:
@@ -64,8 +65,17 @@ class OutsourcedDatabase:
         use_three_way: bool = False,
         use_paper_tree_algorithms: bool = False,
         record_stats: bool = True,
+        obs: Observability = None,
     ) -> None:
         values = [int(v) for v in values]
+        self._obs = obs if obs is not None else Observability()
+        metrics = self._obs.metrics
+        # Protocol counters exist from the start so a metrics snapshot
+        # always shows them, even before the first query.
+        self._round_trips = metrics.counter("protocol.round_trips")
+        self._bytes_sent = metrics.counter("protocol.bytes_sent")
+        self._bytes_received = metrics.counter("protocol.bytes_received")
+        self._decrypt_seconds = metrics.counter("client.decrypt_seconds")
         self.client = TrustedClient(
             key=key,
             seed=seed,
@@ -85,7 +95,9 @@ class OutsourcedDatabase:
             use_paper_tree_algorithms=use_paper_tree_algorithms,
             record_stats=record_stats,
         )
-        self.server = SecureServer(rows, row_ids, **self._server_config)
+        self.server = SecureServer(
+            rows, row_ids, obs=self._obs, **self._server_config
+        )
         if jitter_pivots and engine != "adaptive":
             raise QueryError("jitter pivots require the adaptive engine")
         self._jitter_pivots = int(jitter_pivots)
@@ -99,12 +111,30 @@ class OutsourcedDatabase:
         # Inserted rows leave the formulaic id space; track explicitly.
         self._inserted_physical_to_logical: Dict[int, int] = {}
         self._logical_to_physical: Dict[int, List[int]] = {}
-        self.round_trips = 0
-        self.bytes_sent = 0
         self.client_stats: List[ClientResult] = []
 
     def __len__(self) -> int:
         return self._logical_count
+
+    @property
+    def obs(self) -> Observability:
+        """The session-wide observability bundle (shared with server)."""
+        return self._obs
+
+    @property
+    def round_trips(self) -> int:
+        """Query round trips so far (the ``protocol.round_trips`` counter)."""
+        return self._round_trips.value
+
+    @property
+    def bytes_sent(self) -> int:
+        """Client-to-server query bytes (``protocol.bytes_sent``)."""
+        return self._bytes_sent.value
+
+    @property
+    def bytes_received(self) -> int:
+        """Server-to-client response bytes (``protocol.bytes_received``)."""
+        return self._bytes_received.value
 
     # -- queries ------------------------------------------------------------------
 
@@ -119,16 +149,19 @@ class OutsourcedDatabase:
 
         Either bound may be None for a one-sided query.
         """
-        pivots = self._draw_pivots()
-        message = self.client.make_query(
-            low, high, low_inclusive, high_inclusive, pivots=pivots
-        )
-        self.bytes_sent += message.size_bytes
-        response = self.server.execute(message)
-        self.round_trips += 1
-        result = self.client.decrypt_results(
-            response.row_ids, response.rows, id_mapper=self._map_physical_id
-        )
+        with self._obs.span("session-query", pivots=self._jitter_pivots):
+            pivots = self._draw_pivots()
+            message = self.client.make_query(
+                low, high, low_inclusive, high_inclusive, pivots=pivots
+            )
+            self._bytes_sent.add(message.size_bytes)
+            response = self.server.execute(message)
+            self._round_trips.add(1)
+            self._bytes_received.add(response.size_bytes)
+            result = self.client.decrypt_results(
+                response.row_ids, response.rows, id_mapper=self._map_physical_id
+            )
+            self._decrypt_seconds.add(result.decrypt_seconds)
         self.client_stats.append(result)
         return result
 
@@ -191,6 +224,7 @@ class OutsourcedDatabase:
         (auto-merge threshold, three-way cracking, paper-tree
         algorithms, stats recording, minimum piece size).
         """
+        self._obs.metrics.add("session.key_rotations")
         self.merge()
         everything = self._fetch_all()
         old_ids = [int(i) for i in everything.logical_ids]
@@ -206,7 +240,11 @@ class OutsourcedDatabase:
             fake_domain=self.client.fake_domain,
         )
         rows, row_ids = self.client.encrypt_dataset(values)
-        self.server = SecureServer(rows, row_ids, **self._server_config)
+        # Reuse the session bundle so metric history survives the
+        # server rebuild (same registry, same audit log, same tracer).
+        self.server = SecureServer(
+            rows, row_ids, obs=self._obs, **self._server_config
+        )
         self._logical_count = len(values)
         self._base_physical_count = len(rows)
         self._inserted_physical_to_logical = {}

@@ -25,6 +25,7 @@ from repro.cracking.avl import AVLTree
 from repro.cracking.column import CrackerColumn
 from repro.cracking.cracker_tree import add_crack, find_piece
 from repro.errors import QueryError
+from repro.obs import Observability
 
 #: Tree key: (bound, inclusive).  Node semantics: every row before the
 #: node's position satisfies ``value < bound`` (inclusive=False) or
@@ -94,6 +95,60 @@ class QueryStats:
         )
 
 
+#: QueryStats field -> metrics-registry counter fed by that field.
+#: ``kernel_fast_products`` / ``kernel_exact_products`` are absent on
+#: purpose: their events originate inside the scalar-product kernel
+#: (:class:`repro.linalg.kernels.KernelCounters` bound to the same
+#: registry), and the stats fields are *derived from* those counters —
+#: forwarding them again would double-count.
+STATS_METRIC_OF_FIELD = {
+    "search_seconds": "query.search_seconds",
+    "crack_seconds": "query.crack_seconds",
+    "insert_seconds": "query.insert_seconds",
+    "scan_seconds": "query.scan_seconds",
+    "result_count": "query.result_rows",
+    "cracked_rows": "query.cracked_rows",
+    "cracks": "query.cracks",
+    "comparisons": "query.comparisons",
+    "product_cache_hits": "kernel.cache_hits",
+}
+
+#: Metric names whose per-query registry delta defines a query's
+#: :class:`QueryStats` (the acceptance contract tested in
+#: ``tests/test_obs_integration.py``).
+QUERY_METRIC_NAMES = tuple(STATS_METRIC_OF_FIELD.values()) + (
+    "kernel.fast_products",
+    "kernel.exact_products",
+)
+
+
+class MeteredQueryStats(QueryStats):
+    """A :class:`QueryStats` that is a view over metric events.
+
+    Every mutation of a mapped field forwards its delta to the bound
+    :class:`repro.obs.metrics.MetricsRegistry`, so the per-query stats
+    object and the registry are written by the *same* statement and can
+    never drift.  Engines (and their subclasses — stochastic cracking,
+    sort-touch) keep mutating plain dataclass fields; the forwarding is
+    transparent.
+    """
+
+    def __init__(self, metrics) -> None:
+        object.__setattr__(self, "_counters", {
+            field: metrics.counter(name)
+            for field, name in STATS_METRIC_OF_FIELD.items()
+        })
+        super().__init__()
+
+    def __setattr__(self, name, value):
+        counter = self._counters.get(name)
+        if counter is not None:
+            delta = value - getattr(self, name, 0)
+            if delta:
+                counter.add(delta)
+        object.__setattr__(self, name, value)
+
+
 @dataclass
 class _BoundResolution:
     """Where a query bound landed: an exact position or a raw piece."""
@@ -120,6 +175,10 @@ class AdaptiveIndex:
             cracks).
         record_stats: append a :class:`QueryStats` to :attr:`stats_log`
             for every query.
+        obs: observability bundle (tracing spans + metrics); a private
+            one is created when omitted.  Metric counters are always
+            recorded (stats objects are materialised from them);
+            ``record_stats`` only controls the :attr:`stats_log`.
     """
 
     def __init__(
@@ -128,13 +187,20 @@ class AdaptiveIndex:
         min_piece_size: int = 1,
         use_three_way: bool = False,
         record_stats: bool = True,
+        obs: Observability = None,
     ) -> None:
         self._column = CrackerColumn(values)
         self._tree = AVLTree(_compare_bound_keys)
         self._min_piece = max(1, int(min_piece_size))
         self._use_three_way = use_three_way
         self._record_stats = record_stats
+        self._obs = obs if obs is not None else Observability()
         self.stats_log: List[QueryStats] = []
+
+    @property
+    def obs(self) -> Observability:
+        """The engine's observability bundle."""
+        return self._obs
 
     def __len__(self) -> int:
         return len(self._column)
@@ -169,19 +235,24 @@ class AdaptiveIndex:
         """
         if low is not None and high is not None and low > high:
             raise QueryError("inverted range: low=%r > high=%r" % (low, high))
-        stats = QueryStats()
+        stats = MeteredQueryStats(self._obs.metrics)
         tree_comparisons_before = self._tree.comparison_count
         # The crack separating non-qualifying low rows: rows with
         # v < low (inclusive query) or v <= low (exclusive query).
         left_key: BoundKey = None if low is None else (low, not low_inclusive)
         # The crack whose left side is the qualifying high side.
         right_key: BoundKey = None if high is None else (high, high_inclusive)
-        result = self._execute(left_key, right_key, low, high,
-                               low_inclusive, high_inclusive, stats)
+        with self._obs.span("query", engine="plain-adaptive"):
+            result = self._execute(left_key, right_key, low, high,
+                                   low_inclusive, high_inclusive, stats)
         stats.result_count = len(result)
         stats.comparisons += (
             self._tree.comparison_count - tree_comparisons_before
         )
+        metrics = self._obs.metrics
+        metrics.observe("query.cracks_per_query", stats.cracks)
+        metrics.set("index.avl_depth", self._tree.height())
+        metrics.set("index.pieces", len(self._tree) + 1)
         if self._record_stats:
             self.stats_log.append(stats)
         return result
@@ -252,9 +323,10 @@ class AdaptiveIndex:
         """Find the exact crack position for ``key``, cracking if needed."""
         size = len(self._column)
         tick = time.perf_counter()
-        node = self._tree.find(key)
-        if node is None:
-            piece_lo, piece_hi = find_piece(self._tree, key, size)
+        with self._obs.span("find-piece"):
+            node = self._tree.find(key)
+            if node is None:
+                piece_lo, piece_hi = find_piece(self._tree, key, size)
         stats.search_seconds += time.perf_counter() - tick
         if node is not None:
             return _BoundResolution(position=node.position)
@@ -262,13 +334,17 @@ class AdaptiveIndex:
             return _BoundResolution(piece=(piece_lo, piece_hi))
         bound, inclusive = key
         tick = time.perf_counter()
-        split = self._column.crack(piece_lo, piece_hi, bound, inclusive)
+        with self._obs.span("crack", lo=piece_lo, hi=piece_hi,
+                            rows=piece_hi - piece_lo):
+            split = self._column.crack(piece_lo, piece_hi, bound, inclusive)
         stats.crack_seconds += time.perf_counter() - tick
         stats.cracked_rows += piece_hi - piece_lo
         stats.cracks += 1
         stats.comparisons += piece_hi - piece_lo
+        self._obs.metrics.observe("index.piece_rows", piece_hi - piece_lo)
         tick = time.perf_counter()
-        add_crack(self._tree, key, split, size)
+        with self._obs.span("insert-bound", position=split):
+            add_crack(self._tree, key, split, size)
         stats.insert_seconds += time.perf_counter() - tick
         return _BoundResolution(position=split)
 
@@ -294,27 +370,33 @@ class AdaptiveIndex:
         if piece_hi - piece_lo <= self._min_piece:
             return None
         tick = time.perf_counter()
-        split0, split1 = self._column.crack_three(
-            piece_lo,
-            piece_hi,
-            left_key[0],
-            not left_key[1],
-            right_key[0],
-            right_key[1],
-        )
+        with self._obs.span("crack", lo=piece_lo, hi=piece_hi,
+                            rows=piece_hi - piece_lo, three_way=True):
+            split0, split1 = self._column.crack_three(
+                piece_lo,
+                piece_hi,
+                left_key[0],
+                not left_key[1],
+                right_key[0],
+                right_key[1],
+            )
         stats.crack_seconds += time.perf_counter() - tick
         stats.cracked_rows += piece_hi - piece_lo
         stats.cracks += 1
         stats.comparisons += 2 * (piece_hi - piece_lo)
+        self._obs.metrics.observe("index.piece_rows", piece_hi - piece_lo)
         tick = time.perf_counter()
-        add_crack(self._tree, left_key, split0, size)
-        add_crack(self._tree, right_key, split1, size)
+        with self._obs.span("insert-bound", position=split0):
+            add_crack(self._tree, left_key, split0, size)
+        with self._obs.span("insert-bound", position=split1):
+            add_crack(self._tree, right_key, split1, size)
         stats.insert_seconds += time.perf_counter() - tick
         return split0, split1
 
     def _timed_scan(self, piece, scan_args, stats: QueryStats) -> np.ndarray:
         tick = time.perf_counter()
-        result = self._column.scan_positions(piece[0], piece[1], **scan_args)
+        with self._obs.span("edge-scan", lo=piece[0], hi=piece[1]):
+            result = self._column.scan_positions(piece[0], piece[1], **scan_args)
         stats.scan_seconds += time.perf_counter() - tick
         sides = (scan_args.get("low") is not None) + (
             scan_args.get("high") is not None

@@ -34,7 +34,6 @@ re-multiplying.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -93,7 +92,6 @@ def products_fit_int64(length: int, a_max: int, b_max: int) -> bool:
     return length * a_max * b_max <= INT64_MAX
 
 
-@dataclass
 class KernelCounters:
     """Running totals of products computed on each tier.
 
@@ -101,10 +99,43 @@ class KernelCounters:
         fast_products: scalar products served by the int64 fast path.
         exact_products: scalar products served by the exact big-int
             fallback.
+
+    Optionally bound to a :class:`repro.obs.metrics.MetricsRegistry`
+    (``kernel.fast_products`` / ``kernel.exact_products`` counters), so
+    every product is accounted centrally no matter which code path
+    computed it — including paths that never surface a
+    :class:`~repro.cracking.index.QueryStats` entry, such as the
+    pending-buffer scan with stats recording off or ripple-merge
+    routing.
     """
 
-    fast_products: int = 0
-    exact_products: int = 0
+    __slots__ = ("fast_products", "exact_products", "_fast_metric",
+                 "_exact_metric")
+
+    def __init__(self, metrics=None) -> None:
+        self.fast_products = 0
+        self.exact_products = 0
+        self._fast_metric = None
+        self._exact_metric = None
+        if metrics is not None:
+            self.bind(metrics)
+
+    def bind(self, metrics) -> None:
+        """Mirror future increments into a metrics registry."""
+        self._fast_metric = metrics.counter("kernel.fast_products")
+        self._exact_metric = metrics.counter("kernel.exact_products")
+
+    def add_fast(self, count: int = 1) -> None:
+        """Account ``count`` products to the int64 fast tier."""
+        self.fast_products += count
+        if self._fast_metric is not None:
+            self._fast_metric.add(count)
+
+    def add_exact(self, count: int = 1) -> None:
+        """Account ``count`` products to the exact big-int tier."""
+        self.exact_products += count
+        if self._exact_metric is not None:
+            self._exact_metric.add(count)
 
     def snapshot(self) -> Tuple[int, int]:
         """Current ``(fast, exact)`` totals, for per-query diffing."""
@@ -142,10 +173,10 @@ def matrix_products(
         and products_fit_int64(length, matrix_max_abs, vector_max_abs)
     ):
         if counters is not None:
-            counters.fast_products += rows
+            counters.add_fast(rows)
         return mirror @ np.asarray(vector, dtype=np.int64)
     if counters is not None:
-        counters.exact_products += rows
+        counters.add_exact(rows)
     return matrix @ np.asarray(vector, dtype=object)
 
 
@@ -167,9 +198,9 @@ def single_product(
     """
     if counters is not None:
         if _enabled and products_fit_int64(len(a), a_max, b_max):
-            counters.fast_products += 1
+            counters.add_fast(1)
         else:
-            counters.exact_products += 1
+            counters.add_exact(1)
     return sum(x * y for x, y in zip(a, b))
 
 

@@ -1,0 +1,137 @@
+"""Server-side leakage audit log: what the honest-but-curious server sees.
+
+The scheme's security argument is not "the server learns nothing" but
+"the server learns exactly the access pattern that on-demand indexing
+requires" (paper, Section 4.1; the same framing HardIDX and ESEDS use
+as their central security metric).  This log makes that observable
+surface a first-class artifact: every event the server can record about
+its own execution — which piece a bound landed in, which positions were
+compared against which (opaque) ciphertext, where a crack split, what
+was shipped back — is appended here *by the server-side components
+themselves*, so the audit is exactly as powerful as a real curious
+server and no more.
+
+Ciphertexts are referred to by opaque labels (``ct0``, ``ct1``, ...)
+assigned on first sight: the server can tell two bounds apart (it could
+anyway — it holds the bytes) but the label carries no plaintext.
+
+:mod:`repro.analysis.leakage` consumes these events to compute
+resolved-order leakage from *real* traces instead of synthetic piece
+layouts; see ``audit_piece_boundaries`` there.
+
+Disabled by default; :meth:`AuditLog.record` is a cheap early-out so
+the hooks can live permanently in the query path.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+
+class AuditEvent:
+    """One observation; ``kind`` plus kind-specific fields.
+
+    Event kinds and their fields are catalogued in
+    ``docs/observability.md``.
+    """
+
+    __slots__ = ("kind", "data")
+
+    def __init__(self, kind: str, data: Dict[str, Any]) -> None:
+        self.kind = kind
+        self.data = data
+
+    def to_dict(self) -> Dict[str, Any]:
+        record = {"event": self.kind}
+        record.update(self.data)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "AuditEvent(%r, %r)" % (self.kind, self.data)
+
+
+class AuditLog:
+    """Append-only record of server-observable events.
+
+    Args:
+        enabled: start recording immediately.  When disabled, both
+            :meth:`record` and :meth:`ref` are no-ops (``ref`` returns
+            a placeholder), so the instrumentation hooks cost one
+            attribute check on the hot path.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.events: List[AuditEvent] = []
+        # Opaque ciphertext labels, keyed by object identity.  The
+        # labelled objects are pinned so a recycled id() can never
+        # alias two distinct ciphertexts.
+        self._labels: Dict[int, str] = {}
+        self._pinned: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop recorded events (ciphertext labels are kept stable)."""
+        self.events = []
+
+    def record(self, kind: str, **data) -> None:
+        """Append one event; no-op when disabled."""
+        if not self.enabled:
+            return
+        self.events.append(AuditEvent(kind, data))
+
+    def ref(self, ciphertext: Optional[Any]) -> Optional[str]:
+        """Opaque stable label for a ciphertext object (``ct<N>``).
+
+        None passes through (one-sided queries have absent bounds).
+        """
+        if ciphertext is None:
+            return None
+        if not self.enabled:
+            return "ct?"
+        label = self._labels.get(id(ciphertext))
+        if label is None:
+            label = "ct%d" % len(self._pinned)
+            self._labels[id(ciphertext)] = label
+            self._pinned.append(ciphertext)
+        return label
+
+    # -- reading -------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Event count per kind."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.kind] = totals.get(event.kind, 0) + 1
+        return totals
+
+    def of_kind(self, kind: str) -> List[AuditEvent]:
+        """All events of one kind, in arrival order."""
+        return [event for event in self.events if event.kind == kind]
+
+    # -- exporters -----------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All events as JSON-compatible dicts, in arrival order."""
+        return [event.to_dict() for event in self.events]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, one line per event."""
+        return "\n".join(json.dumps(record) for record in self.to_dicts())
+
+    def dump_jsonl(self, path: str) -> str:
+        """Write :meth:`to_jsonl` to ``path``; returns the path."""
+        content = self.to_jsonl()
+        with open(path, "w") as handle:
+            if content:
+                handle.write(content + "\n")
+        return path

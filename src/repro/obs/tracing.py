@@ -1,0 +1,191 @@
+"""Span-based tracing with a true no-op fast path when disabled.
+
+A :class:`Tracer` hands out context-managed spans::
+
+    with tracer.span("crack", rows=n):
+        ...
+
+Spans nest (the tracer keeps an active-span stack), are timed with
+``time.perf_counter``, close correctly when the body raises (recording
+the exception type on the span), and serialise to JSONL for offline
+inspection (``repro trace``, benchmark artifacts).
+
+The disabled path is the design centre: ``span()`` on a disabled tracer
+returns a shared singleton whose ``__enter__``/``__exit__`` do nothing —
+no allocation, no clock read, no list append — so instrumentation can
+stay in every hot path permanently.  The overhead budget is enforced by
+``benchmarks/bench_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+
+class _NullSpan:
+    """The shared do-nothing span returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        """Ignore attributes (tracing is off)."""
+        return self
+
+    @property
+    def duration(self) -> float:
+        return 0.0
+
+
+#: Singleton no-op span; identity-comparable so tests can assert the
+#: disabled fast path really is allocation-free.
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, named, attributed region of execution.
+
+    Created via :meth:`Tracer.span`; use as a context manager.  The
+    span is appended to the tracer's record list on *enter* (so the
+    dump is ordered by start time) and finalised on exit.
+    """
+
+    __slots__ = ("name", "attrs", "start", "end", "index", "parent",
+                 "depth", "error", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.start: float = 0.0
+        self.end: Optional[float] = None
+        self.index: int = -1
+        self.parent: Optional[int] = None
+        self.depth: int = 0
+        self.error: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack
+        self.parent = stack[-1].index if stack else None
+        self.depth = len(stack)
+        self.index = len(tracer.spans)
+        tracer.spans.append(self)
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.error = "%s: %s" % (exc_type.__name__, exc)
+        stack = self._tracer._stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # pragma: no cover - malformed nesting, keep best effort
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        return False
+
+    def set(self, **attrs) -> "Span":
+        """Attach or update attributes mid-span; chainable."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Seconds from enter to exit (to "now" for an open span)."""
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible record (attributes flattened in)."""
+        record = {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "index": self.index,
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        for key, value in self.attrs.items():
+            record.setdefault(key, value)
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "Span(%r, %.6fs)" % (self.name, self.duration)
+
+
+class Tracer:
+    """Factory and store for spans.
+
+    Args:
+        enabled: start enabled; flip at runtime with :meth:`enable` /
+            :meth:`disable` (a query in flight keeps the spans it
+            already opened).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.spans: List[Span] = []
+        self._stack: List[Span] = []
+
+    def span(self, name: str, **attrs):
+        """A context-managed span, or the no-op singleton when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attrs)
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        """Drop recorded spans (open spans stay on the stack)."""
+        self.spans = []
+
+    # -- exporters -----------------------------------------------------
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """All recorded spans as JSON-compatible dicts, start-ordered."""
+        return [span.to_dict() for span in self.spans]
+
+    def to_jsonl(self) -> str:
+        """One JSON object per line, one line per span."""
+        return "\n".join(json.dumps(record) for record in self.to_dicts())
+
+    def dump_jsonl(self, path: str) -> str:
+        """Write :meth:`to_jsonl` to ``path``; returns the path."""
+        content = self.to_jsonl()
+        with open(path, "w") as handle:
+            if content:
+                handle.write(content + "\n")
+        return path
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-span-name aggregate: count and total seconds.
+
+        Note that nested spans overlap their parents, so totals across
+        *different* names do not add up to wall-clock time.
+        """
+        totals: Dict[str, Dict[str, float]] = {}
+        for span in self.spans:
+            entry = totals.setdefault(span.name, {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            if span.end is not None:
+                entry["seconds"] += span.duration
+        return totals

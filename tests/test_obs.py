@@ -1,0 +1,276 @@
+"""Unit tests for the observability package (`repro.obs`)."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    AuditLog,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_SPAN,
+    Observability,
+    Tracer,
+)
+
+
+class TestTracer:
+    def test_spans_nest(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("middle") as middle:
+                with tracer.span("inner") as inner:
+                    pass
+        assert outer.parent is None and outer.depth == 0
+        assert middle.parent == outer.index and middle.depth == 1
+        assert inner.parent == middle.index and inner.depth == 2
+        assert [s.name for s in tracer.spans] == ["outer", "middle", "inner"]
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("parent") as parent:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent == parent.index
+        assert b.parent == parent.index
+        assert a.depth == b.depth == 1
+
+    def test_span_closes_on_exception(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("failing"):
+                    raise ValueError("boom")
+        outer, failing = tracer.spans
+        assert failing.end is not None
+        assert failing.error == "ValueError: boom"
+        assert outer.end is not None
+        assert outer.error == "ValueError: boom"
+        assert tracer._stack == []  # stack unwound, tracer reusable
+        with tracer.span("after") as after:
+            pass
+        assert after.parent is None
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", rows=5)
+        assert span is NULL_SPAN  # shared singleton: no allocation
+        with span as entered:
+            assert entered is NULL_SPAN
+        assert entered.set(more=1) is NULL_SPAN
+        assert entered.duration == 0.0
+        assert tracer.spans == []
+
+    def test_durations_and_attrs(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", rows=7) as span:
+            span.set(extra="yes")
+        assert span.duration > 0
+        record = span.to_dict()
+        assert record["rows"] == 7
+        assert record["extra"] == "yes"
+        assert record["duration"] == pytest.approx(span.duration)
+
+    def test_jsonl_round_trip(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        lines = tracer.to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["a", "b"]
+        assert records[1]["parent"] == records[0]["index"]
+
+    def test_dump_jsonl(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("only"):
+            pass
+        path = tracer.dump_jsonl(str(tmp_path / "trace.jsonl"))
+        content = (tmp_path / "trace.jsonl").read_text()
+        assert json.loads(content.strip())["name"] == "only"
+        assert path.endswith("trace.jsonl")
+
+    def test_enable_disable_and_clear(self):
+        tracer = Tracer()
+        assert tracer.span("off") is NULL_SPAN
+        tracer.enable()
+        with tracer.span("on"):
+            pass
+        assert len(tracer.spans) == 1
+        tracer.clear()
+        assert tracer.spans == []
+        tracer.disable()
+        assert tracer.span("off") is NULL_SPAN
+
+    def test_summary_aggregates_by_name(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("repeat"):
+                pass
+        summary = tracer.summary()
+        assert summary["repeat"]["count"] == 3
+        assert summary["repeat"]["seconds"] > 0
+
+
+class TestHistogram:
+    def test_exact_percentiles_on_known_data(self):
+        hist = Histogram("h")
+        for value in [1, 2, 3, 4]:
+            hist.observe(value)
+        assert hist.percentile(50) == 2
+        assert hist.percentile(75) == 3
+        assert hist.percentile(100) == 4
+
+    def test_percentiles_one_to_hundred(self):
+        hist = Histogram("h")
+        for value in range(100, 0, -1):  # reverse order: forces re-sort
+            hist.observe(value)
+        assert hist.percentile(1) == 1
+        assert hist.percentile(50) == 50
+        assert hist.percentile(90) == 90
+        assert hist.percentile(99) == 99
+        assert hist.percentile(100) == 100
+
+    def test_single_value(self):
+        hist = Histogram("h")
+        hist.observe(42)
+        assert hist.percentile(50) == 42
+        assert hist.min == hist.max == 42
+        assert hist.mean == 42
+
+    def test_empty(self):
+        hist = Histogram("h")
+        assert hist.percentile(50) is None
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p99"] is None
+
+    def test_invalid_quantile(self):
+        hist = Histogram("h")
+        hist.observe(1)
+        with pytest.raises(ValueError):
+            hist.percentile(0)
+        with pytest.raises(ValueError):
+            hist.percentile(101)
+
+    def test_summary(self):
+        hist = Histogram("h")
+        for value in [5, 1, 3]:
+            hist.observe(value)
+        summary = hist.summary()
+        assert summary == {
+            "count": 3, "sum": 9, "min": 1, "max": 5, "mean": 3,
+            "p50": 3, "p90": 5, "p99": 5,
+        }
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+
+    def test_shorthand_and_values(self):
+        registry = MetricsRegistry()
+        registry.add("c")
+        registry.add("c", 2)
+        registry.add("f", 0.5)
+        registry.set("g", 7)
+        registry.observe("h", 3)
+        assert registry.counter_value("c") == 3
+        assert registry.counter_value("f") == 0.5
+        assert registry.counter_value("missing") == 0
+        assert registry.counter_values(["c", "missing"]) == {
+            "c": 3, "missing": 0,
+        }
+
+    def test_snapshot_is_json_compatible(self):
+        registry = MetricsRegistry()
+        registry.add("kernel.fast_products", 10)
+        registry.set("index.pieces", 4)
+        registry.observe("index.piece_rows", 100)
+        snap = json.loads(json.dumps(registry.snapshot()))
+        assert snap["counters"]["kernel.fast_products"] == 10
+        assert snap["gauges"]["index.pieces"] == 4
+        assert snap["histograms"]["index.piece_rows"]["count"] == 1
+
+    def test_render_mentions_every_metric(self):
+        registry = MetricsRegistry()
+        registry.add("bytes", 12)
+        registry.set("depth", 3)
+        registry.observe("sizes", 5)
+        text = registry.render()
+        for name in ("bytes", "depth", "sizes"):
+            assert name in text
+        assert MetricsRegistry().render() == "(no metrics recorded)"
+
+    def test_counter_and_gauge_primitives(self):
+        counter = Counter("c")
+        counter.add()
+        counter.add(2.5)
+        assert counter.value == 3.5
+        gauge = Gauge("g")
+        gauge.set(9)
+        assert gauge.value == 9
+
+
+class TestAuditLog:
+    def test_disabled_records_nothing(self):
+        log = AuditLog()
+        log.record("crack", lo=0, hi=10, splits=[5])
+        assert log.events == []
+        assert log.ref(object()) == "ct?"
+
+    def test_refs_are_stable_opaque_labels(self):
+        log = AuditLog(enabled=True)
+        first, second = object(), object()
+        assert log.ref(first) == log.ref(first)
+        assert log.ref(first) != log.ref(second)
+        assert log.ref(first).startswith("ct")
+        assert log.ref(None) is None
+
+    def test_events_counts_and_jsonl(self):
+        log = AuditLog(enabled=True)
+        log.record("find", position=3)
+        log.record("crack", lo=0, hi=10, splits=[4])
+        log.record("crack", lo=4, hi=10, splits=[7])
+        assert log.counts() == {"find": 1, "crack": 2}
+        assert [e.to_dict()["splits"] for e in log.of_kind("crack")] == [
+            [4], [7],
+        ]
+        records = [json.loads(line) for line in log.to_jsonl().splitlines()]
+        assert records[0] == {"event": "find", "position": 3}
+
+
+class TestObservabilityBundle:
+    def test_defaults_off(self):
+        obs = Observability()
+        assert not obs.tracer.enabled
+        assert not obs.audit.enabled
+        assert obs.span("x") is NULL_SPAN
+
+    def test_opt_in(self):
+        obs = Observability(tracing=True, audit=True)
+        with obs.span("x"):
+            pass
+        obs.audit.record("find", position=0)
+        assert len(obs.tracer.spans) == 1
+        assert obs.audit.counts() == {"find": 1}
+
+    def test_snapshot_delegates_to_metrics(self):
+        obs = Observability()
+        obs.metrics.add("n", 2)
+        assert obs.snapshot()["counters"]["n"] == 2

@@ -1,0 +1,339 @@
+"""Observability threaded through the full stack (acceptance tests).
+
+Covers the cross-cutting contracts:
+
+* a traced encrypted query yields nested find-piece / crack /
+  edge-scan / kernel-product spans whose summed durations reconcile
+  with the query's :class:`QueryStats.total_seconds`;
+* :class:`QueryStats` equals the per-operation metrics-registry deltas
+  (the two are written by the same statements) across query, insert,
+  delete, merge, and key rotation;
+* the server-side audit log matches the access pattern predicted by
+  :mod:`repro.analysis.leakage`;
+* the session counts bytes in both directions;
+* pending-scan kernel counts survive ``record_stats=False``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.leakage import (
+    audit_crack_events,
+    audit_piece_boundaries,
+    predicted_crack_events,
+    resolved_order_fraction,
+)
+from repro.core.client import TrustedClient
+from repro.core.encrypted_column import EncryptedColumn
+from repro.core.secure_index import SecureAdaptiveIndex
+from repro.core.server import SecureServer
+from repro.core.session import OutsourcedDatabase
+from repro.cracking.index import QUERY_METRIC_NAMES, STATS_METRIC_OF_FIELD
+from repro.linalg.kernels import ProductCache
+from repro.obs import Observability
+
+VALUES = [int(v) for v in np.random.default_rng(5).permutation(512)]
+
+#: Span names that carry the engine's timed phases; their summed
+#: durations must reconcile with ``QueryStats.total_seconds``.
+PHASE_SPANS = ("find-piece", "crack", "insert-bound", "edge-scan")
+
+
+def _registry_values(obs):
+    return {
+        name: obs.metrics.counter_value(name) for name in QUERY_METRIC_NAMES
+    }
+
+
+def _delta(before, after):
+    return {name: after[name] - before[name] for name in before}
+
+
+class TestTracedQueryAcceptance:
+    """The ISSUE's headline acceptance: one traced encrypted query."""
+
+    @pytest.fixture()
+    def traced(self):
+        obs = Observability(tracing=True)
+        client = TrustedClient(seed=3)
+        rows, row_ids = client.encrypt_dataset(VALUES)
+        engine = SecureAdaptiveIndex(
+            EncryptedColumn(rows, row_ids, obs=obs), min_piece_size=16, obs=obs
+        )
+        # [496, 510]: the left bound cracks the whole column; the right
+        # bound then lands in a 16-row piece at the threshold, which is
+        # edge-scanned — one query exercises every phase span.
+        engine.query(client.make_query(496, 510))
+        return obs, engine
+
+    def test_trace_has_all_nested_phase_spans(self, traced):
+        obs, engine = traced
+        names = [span.name for span in obs.tracer.spans]
+        for required in ("engine-query", "find-piece", "crack",
+                        "insert-bound", "edge-scan", "kernel-product"):
+            assert required in names, "missing span %r" % required
+        root = obs.tracer.spans[0]
+        assert root.name == "engine-query" and root.parent is None
+        for span in obs.tracer.spans[1:]:
+            assert span.parent is not None  # everything nests under root
+            assert span.depth >= 1
+            assert span.end is not None
+
+    def test_jsonl_trace_reconciles_with_query_stats(self, traced, tmp_path):
+        obs, engine = traced
+        path = obs.tracer.dump_jsonl(str(tmp_path / "query.trace.jsonl"))
+        records = [
+            json.loads(line)
+            for line in open(path).read().splitlines()
+        ]
+        stats = engine.stats_log[-1]
+        span_total = sum(
+            r["duration"] for r in records if r["name"] in PHASE_SPANS
+        )
+        # Phase spans sit strictly inside the QueryStats timing windows,
+        # so their sum can never exceed total_seconds — and since the
+        # spans wrap the actual work, it accounts for the bulk of it.
+        assert span_total <= stats.total_seconds * 1.001 + 1e-4
+        assert span_total >= stats.total_seconds * 0.5
+        engine_query = [r for r in records if r["name"] == "engine-query"]
+        assert len(engine_query) == 1
+        assert engine_query[0]["duration"] >= span_total
+
+    def test_kernel_product_spans_nest_under_phases(self, traced):
+        obs, __ = traced
+        by_index = {span.index: span for span in obs.tracer.spans}
+        kernel_spans = [
+            s for s in obs.tracer.spans if s.name == "kernel-product"
+        ]
+        assert kernel_spans
+        for span in kernel_spans:
+            assert by_index[span.parent].name in ("crack", "edge-scan")
+
+
+class TestStatsEqualRegistryDeltas:
+    """QueryStats is a view over metric events — per-op deltas match."""
+
+    @pytest.fixture()
+    def db(self):
+        return OutsourcedDatabase(VALUES, seed=9, min_piece_size=8)
+
+    def _check_query_delta(self, db, low, high):
+        before = _registry_values(db.obs)
+        db.query(low, high)
+        delta = _delta(before, _registry_values(db.obs))
+        stats = db.server.stats_log[-1]
+        for field, metric in STATS_METRIC_OF_FIELD.items():
+            assert delta[metric] == pytest.approx(getattr(stats, field)), (
+                "field %s drifted from metric %s" % (field, metric)
+            )
+        assert delta["kernel.fast_products"] == stats.kernel_fast_products
+        assert delta["kernel.exact_products"] == stats.kernel_exact_products
+
+    def test_query_insert_delete_merge_rotate(self, db):
+        self._check_query_delta(db, 100, 200)
+        self._check_query_delta(db, 40, 60)
+
+        # Inserts and deletes emit no per-query engine stats; their
+        # registry footprint must not touch the query metrics.
+        before = _registry_values(db.obs)
+        inserted = db.insert(1000)
+        db.delete(inserted)
+        assert _delta(before, _registry_values(db.obs)) == {
+            name: 0 for name in QUERY_METRIC_NAMES
+        }
+
+        # A query with rows pending exercises the pending-scan fold.
+        db.insert(1001)
+        self._check_query_delta(db, 900, 1100)
+
+        # Merge routes pending rows through the kernel; those products
+        # belong to no query, but the registry still sees them.
+        before = _registry_values(db.obs)
+        db.merge()
+        merge_delta = _delta(before, _registry_values(db.obs))
+        kernel_during_merge = (
+            merge_delta["kernel.fast_products"]
+            + merge_delta["kernel.exact_products"]
+        )
+        assert kernel_during_merge > 0
+        assert merge_delta["query.cracks"] == 0
+
+        # Key rotation rebuilds the server around the same registry:
+        # history survives and the per-query contract still holds.
+        served_before = db.obs.metrics.counter_value("server.queries_served")
+        db.rotate_key(new_seed=77)
+        assert db.obs.metrics.counter_value("session.key_rotations") == 1
+        assert (
+            db.obs.metrics.counter_value("server.queries_served")
+            > served_before
+        )
+        self._check_query_delta(db, 150, 250)
+
+    def test_stats_log_sums_equal_registry_for_query_only_workload(self):
+        db = OutsourcedDatabase(VALUES, seed=21, min_piece_size=8)
+        for low in (50, 200, 350, 125):
+            db.query(low, low + 80)
+        for field, metric in STATS_METRIC_OF_FIELD.items():
+            total = sum(getattr(s, field) for s in db.server.stats_log)
+            assert db.obs.metrics.counter_value(metric) == pytest.approx(
+                total
+            )
+
+
+class TestProtocolBytes:
+    def test_bytes_counted_both_directions(self):
+        db = OutsourcedDatabase(VALUES, seed=11)
+        result = db.query(10, 400)
+        assert db.round_trips == 1
+        assert db.bytes_sent > 0
+        assert db.bytes_received > 0
+        # The response carries the qualifying ciphertext rows plus ids,
+        # so received bytes dominate a high-selectivity query.
+        assert db.bytes_received > db.bytes_sent
+        assert len(result.values) == 391
+
+    def test_maintenance_traffic_not_counted(self):
+        db = OutsourcedDatabase(VALUES, seed=12)
+        db.query(0, 50)
+        trips, sent, received = (
+            db.round_trips, db.bytes_sent, db.bytes_received,
+        )
+        db.rotate_key(new_seed=5)
+        assert (db.round_trips, db.bytes_sent, db.bytes_received) == (
+            trips, sent, received,
+        )
+
+
+class TestPendingScanHardening:
+    def _server(self, record_stats):
+        client = TrustedClient(seed=31)
+        rows, row_ids = client.encrypt_dataset(VALUES[:64])
+        server = SecureServer(rows, row_ids, record_stats=record_stats)
+        server.insert(client.encrypt_value(17))
+        server.insert(client.encrypt_value(900))
+        return client, server
+
+    def test_pending_products_reach_registry_without_stats(self):
+        client, server = self._server(record_stats=False)
+        server.execute(client.make_query(0, 100))
+        metrics = server.obs.metrics
+        total = (
+            metrics.counter_value("kernel.fast_products")
+            + metrics.counter_value("kernel.exact_products")
+        )
+        assert total > 0
+        assert server.stats_log == []  # the view is off, the events not
+
+    def test_pending_products_fold_into_stats_when_recording(self):
+        client, server = self._server(record_stats=True)
+        server.execute(client.make_query(0, 100))
+        stats = server.stats_log[-1]
+        kernel_in_stats = (
+            stats.kernel_fast_products + stats.kernel_exact_products
+        )
+        metrics = server.obs.metrics
+        assert kernel_in_stats == (
+            metrics.counter_value("kernel.fast_products")
+            + metrics.counter_value("kernel.exact_products")
+        )
+
+    def test_empty_stats_log_routes_cache_hits_to_registry(self):
+        client, server = self._server(record_stats=True)
+        server.engine.stats_log.clear()  # the previously dead branch
+        cache = ProductCache()
+        cache.hits = 3
+        server._merge_pending_scan_stats((5, 2), (5, 2), cache)
+        assert server.obs.metrics.counter_value("kernel.cache_hits") == 3
+
+
+class TestAuditMatchesLeakageAnalysis:
+    @pytest.fixture()
+    def audited(self):
+        obs = Observability(audit=True)
+        client = TrustedClient(seed=41)
+        rows, row_ids = client.encrypt_dataset(VALUES)
+        engine = SecureAdaptiveIndex(
+            EncryptedColumn(rows, row_ids, obs=obs), min_piece_size=4, obs=obs
+        )
+        rng = np.random.default_rng(43)
+        for _ in range(25):
+            low = int(rng.integers(0, 450))
+            engine.query(client.make_query(low, low + int(rng.integers(5, 60))))
+        return obs, engine
+
+    def test_crack_event_count_matches_stats_prediction(self, audited):
+        obs, engine = audited
+        events = audit_crack_events(obs.audit.to_dicts())
+        assert len(events) == predicted_crack_events(engine.stats_log)
+        assert len(events) == obs.audit.counts()["crack"]
+
+    def test_audit_boundaries_reproduce_engine_state(self, audited):
+        obs, engine = audited
+        total = len(engine)
+        boundaries = audit_piece_boundaries(obs.audit.to_dicts(), total)
+        assert boundaries == engine.piece_boundaries()
+        assert resolved_order_fraction(
+            boundaries, total
+        ) == pytest.approx(
+            resolved_order_fraction(engine.piece_boundaries(), total)
+        )
+
+    def test_bounds_are_opaque_labels(self, audited):
+        obs, __ = audited
+        for record in obs.audit.to_dicts():
+            for key in ("bound", "bound_high"):
+                label = record.get(key)
+                assert label is None or label.startswith("ct")
+
+
+class TestCliObservability:
+    @pytest.fixture()
+    def column_file(self, tmp_path):
+        path = tmp_path / "col.txt"
+        path.write_text("\n".join(str(v) for v in VALUES[:128]) + "\n")
+        return str(path)
+
+    def test_query_stats_flag(self, column_file, capsys):
+        from repro.cli import main
+
+        assert main(["query", column_file, "--range", "5", "60",
+                     "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "bytes sent" in out and "bytes received" in out
+        assert "fast products" in out and "exact products" in out
+
+    def test_stats_subcommand_renders_snapshot(self, column_file, capsys):
+        from repro.cli import main
+
+        assert main(["stats", column_file, "--range", "5", "60"]) == 0
+        out = capsys.readouterr().out
+        for metric in ("kernel.fast_products", "kernel.exact_products",
+                       "kernel.cache_hits", "protocol.bytes_sent",
+                       "protocol.bytes_received"):
+            assert metric in out
+
+    def test_stats_subcommand_json(self, column_file, capsys):
+        from repro.cli import main
+
+        assert main(["stats", column_file, "--range", "5", "60",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out[out.index("{"):])
+        assert snapshot["counters"]["protocol.round_trips"] == 1
+
+    def test_trace_subcommand_writes_jsonl(self, column_file, tmp_path,
+                                           capsys):
+        from repro.cli import main
+
+        output = str(tmp_path / "out.jsonl")
+        assert main(["trace", column_file, "--range", "5", "60",
+                     "--output", output]) == 0
+        records = [
+            json.loads(line) for line in open(output).read().splitlines()
+        ]
+        names = {r["name"] for r in records}
+        assert {"session-query", "server-execute", "engine-query",
+                "crack"} <= names
+        assert "wrote %d spans" % len(records) in capsys.readouterr().out
