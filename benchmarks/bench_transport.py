@@ -1,0 +1,144 @@
+"""Transport-seam cost: loopback vs TCP for the Fig 9 query loop.
+
+The refactored client/server seam encodes every message to a frame even
+in-process, so the protocol itself now has a measurable price.  This
+benchmark runs the same random-range workload through both transports
+against the same data and reports:
+
+* per-query latency (mean over the loop, after the upload);
+* exact workload bytes in both directions — identical across
+  transports by construction (frames are deterministic), asserted here;
+* the loopback-vs-TCP latency gap, i.e. what a real socket adds on top
+  of the protocol encode/decode cost.
+
+Emits ``BENCH_transport.json`` under ``benchmarks/results/``.
+
+Run standalone (``python benchmarks/bench_transport.py [--smoke]``,
+``REPRO_BENCH_FAST=1`` also selects smoke scale) or through pytest
+(``pytest benchmarks/bench_transport.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SRC = os.path.join(os.path.dirname(_HERE), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import numpy as np
+
+from repro.bench.reporting import RESULTS_DIR
+from repro.core.session import OutsourcedDatabase
+from repro.net import TcpTransport, serve
+from repro.workloads.generators import random_workload
+
+SMOKE = os.environ.get("REPRO_BENCH_FAST") == "1"
+
+
+def run_transport(values, queries, transport=None, column="values") -> dict:
+    """One full workload over one transport; returns timing + bytes."""
+    tick = time.perf_counter()
+    db = OutsourcedDatabase(
+        values, seed=29, min_piece_size=8, transport=transport, column=column
+    )
+    upload_seconds = time.perf_counter() - tick
+    row_ids = []
+    tick = time.perf_counter()
+    for query in queries:
+        result = db.query(*query.as_args())
+        row_ids.append(sorted(int(i) for i in result.logical_ids))
+    query_seconds = time.perf_counter() - tick
+    return {
+        "upload_seconds": upload_seconds,
+        "query_seconds": query_seconds,
+        "seconds_per_query": query_seconds / len(queries),
+        "round_trips": db.round_trips,
+        "bytes_sent": db.bytes_sent,
+        "bytes_received": db.bytes_received,
+        "row_ids": row_ids,
+    }
+
+
+def bench(size: int, query_count: int) -> dict:
+    values = [int(v) for v in np.random.default_rng(31).permutation(size)]
+    queries = random_workload(query_count, (0, size), selectivity=0.01, seed=37)
+
+    loopback = run_transport(values, queries)
+
+    endpoint = serve()
+    thread = threading.Thread(target=endpoint.serve_forever, daemon=True)
+    thread.start()
+    try:
+        host, port = endpoint.server_address
+        with TcpTransport(host, port) as transport:
+            tcp = run_transport(values, queries, transport=transport)
+    finally:
+        endpoint.stop()
+        thread.join(timeout=5)
+
+    assert loopback["row_ids"] == tcp["row_ids"], "transports disagree"
+    assert loopback["bytes_sent"] == tcp["bytes_sent"]
+    assert loopback["bytes_received"] == tcp["bytes_received"]
+    for entry in (loopback, tcp):
+        del entry["row_ids"]
+    return {
+        "size": size,
+        "queries": query_count,
+        "loopback": loopback,
+        "tcp": tcp,
+        "tcp_slowdown": (
+            tcp["seconds_per_query"] / loopback["seconds_per_query"]
+            if loopback["seconds_per_query"]
+            else 0.0
+        ),
+    }
+
+
+def main(smoke: bool = SMOKE, output: str = None) -> dict:
+    if smoke:
+        result = bench(size=1_000, query_count=25)
+    else:
+        result = bench(size=8_000, query_count=120)
+    report = {
+        "benchmark": "transport",
+        "mode": "smoke" if smoke else "full",
+        **result,
+    }
+    if output is None:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        output = os.path.join(RESULTS_DIR, "BENCH_transport.json")
+    with open(output, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for name in ("loopback", "tcp"):
+        entry = report[name]
+        print(
+            "%-8s upload %.3fs  %.2f ms/query  %d sent / %d received bytes"
+            % (
+                name,
+                entry["upload_seconds"],
+                1e3 * entry["seconds_per_query"],
+                entry["bytes_sent"],
+                entry["bytes_received"],
+            )
+        )
+    print("tcp slowdown: %.2fx" % report["tcp_slowdown"])
+    print("wrote %s" % output)
+    return report
+
+
+def test_transport_bench():
+    """Pytest entry point: both transports agree, bytes are identical."""
+    report = main(smoke=True)
+    assert report["loopback"]["round_trips"] == report["tcp"]["round_trips"]
+    assert report["loopback"]["bytes_sent"] == report["tcp"]["bytes_sent"]
+    assert report["tcp"]["seconds_per_query"] > 0
+
+
+if __name__ == "__main__":
+    sys.exit(0 if main(smoke=SMOKE or "--smoke" in sys.argv[1:]) else 1)

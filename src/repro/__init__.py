@@ -22,7 +22,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.cracking` — the database-cracking substrate
   (Section 2.2) over plaintext columns.
 * :mod:`repro.core` — the secure adaptive index, SecureScan baseline,
-  and the client/server protocol (Sections 4-5).
+  and the client/server sessions (Sections 4-5).
+* :mod:`repro.net` — the wire seam: protocol envelopes, loopback/TCP
+  transports, and the multi-column server catalog
+  (``docs/protocol.md``).
 * :mod:`repro.store` — the column-store substrate and update buffer.
 * :mod:`repro.workloads` — datasets and query workload generators.
 * :mod:`repro.analysis` — order-leakage metrics (Section 4.1).

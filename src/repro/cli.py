@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the common operator flows:
+Seven subcommands cover the common operator flows:
 
 * ``demo``   — a self-contained end-to-end demonstration (synthetic
   data, a query burst, adaptation statistics).
@@ -13,8 +13,15 @@ Six subcommands cover the common operator flows:
   JSONL trace (plus a per-span-name summary on stdout).
 * ``sql``    — load one or more CSV tables (encrypted by default) and
   execute a SQL statement from the supported subset.
+* ``serve``  — host an empty column catalog on a TCP port; remote
+  clients upload and query columns through the wire protocol.
 * ``keygen`` — generate a secret key and print its JSON serialization
   (for sharing between trusted clients out of band).
+
+The workload commands (``query`` / ``stats`` / ``trace`` / ``sql``)
+default to an in-process server; ``--connect HOST:PORT`` points them
+at a running ``repro serve`` endpoint instead — same protocol, same
+results, real sockets.
 
 The CLI is a thin shell over the library; every command prints plain
 text and returns a process exit code, so it is scriptable.
@@ -92,7 +99,17 @@ def build_parser() -> argparse.ArgumentParser:
     sql.add_argument("--ambiguity", action="store_true",
                      help="encrypt with counterfeit interpretations")
     sql.add_argument("--seed", type=int, default=0)
+    sql.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="host encrypted tables on a running `repro serve` endpoint",
+    )
     sql.add_argument("statement", help="the SELECT statement")
+
+    serve = commands.add_parser(
+        "serve", help="host a column catalog endpoint over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9045)
 
     keygen = commands.add_parser("keygen", help="generate a secret key")
     keygen.add_argument("--length", type=int, default=4)
@@ -112,6 +129,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "stats": _run_stats,
             "trace": _run_trace,
             "sql": _run_sql,
+            "serve": _run_serve,
             "keygen": _run_keygen,
         }[args.command]
         return handler(args)
@@ -174,15 +192,41 @@ def _add_workload_args(parser) -> None:
     parser.add_argument("--engine", choices=("adaptive", "scan"),
                        default="adaptive")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT",
+        help="speak to a running `repro serve` endpoint instead of an "
+             "in-process server",
+    )
+    parser.add_argument(
+        "--column", default="values",
+        help="column name at the endpoint (sessions sharing a server "
+             "must pick distinct names)",
+    )
+
+
+def _make_transport(args):
+    """A TCP transport for ``--connect``, or None for loopback."""
+    address = getattr(args, "connect", None)
+    if not address:
+        return None
+    host, __, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError("--connect must be HOST:PORT: %r" % address)
+    from repro.net.transport import TcpTransport
+
+    return TcpTransport(host, int(port))
 
 
 def _build_db(args, obs=None) -> OutsourcedDatabase:
     values = _read_column(args.file)
+    transport = _make_transport(args)
     db = OutsourcedDatabase(
         values, ambiguity=args.ambiguity, engine=args.engine, seed=args.seed,
-        obs=obs,
+        obs=obs, transport=transport,
+        column=getattr(args, "column", "values"),
     )
-    print("outsourced %d values from %s" % (len(values), args.file))
+    where = " to %s" % args.connect if getattr(args, "connect", None) else ""
+    print("outsourced %d values from %s%s" % (len(values), args.file, where))
     return db
 
 
@@ -260,6 +304,7 @@ def _run_trace(args) -> int:
 
 def _run_sql(args) -> int:
     catalog = Catalog()
+    transport = _make_transport(args)
     for spec in args.tables:
         name, __, path = spec.partition("=")
         if not name or not path:
@@ -268,12 +313,15 @@ def _run_sql(args) -> int:
         if args.plaintext:
             if args.ambiguity:
                 raise ReproError("--ambiguity requires encrypted tables")
+            if transport is not None:
+                raise ReproError("--connect requires encrypted tables")
             catalog.register(name, Table(columns))
         else:
             catalog.register(
                 name,
                 OutsourcedTable(
-                    columns, ambiguity=args.ambiguity, seed=args.seed
+                    columns, ambiguity=args.ambiguity, seed=args.seed,
+                    transport=transport, namespace="%s." % name,
                 ),
             )
     out = execute_sql(catalog, args.statement)
@@ -286,6 +334,22 @@ def _run_sql(args) -> int:
             str(int(out[name][index])).rjust(widths[name]) for name in names
         ))
     print("(%d rows)" % len(out["logical_ids"]))
+    return 0
+
+
+def _run_serve(args) -> int:
+    from repro.net import serve as bind_endpoint
+
+    endpoint = bind_endpoint(host=args.host, port=args.port)
+    host, port = endpoint.server_address
+    print("serving column catalog on %s:%d (ctrl-c to stop)" % (host, port),
+          flush=True)
+    try:
+        endpoint.serve_forever()
+    except KeyboardInterrupt:
+        print("stopping")
+    finally:
+        endpoint.stop()
     return 0
 
 

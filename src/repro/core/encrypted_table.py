@@ -6,8 +6,8 @@ encrypted attributes side by side.  This module extends the system the
 way column-stores do (Section 2.2's flow, and the self-organising
 tuple-reconstruction line of work the paper cites):
 
-* every encrypted column lives in its own
-  :class:`~repro.core.secure_index.SecureAdaptiveIndex` and is cracked
+* every encrypted column is registered under its own name in the
+  server's :class:`~repro.net.catalog.ColumnCatalog` and is cracked
   independently — queries on the ``price`` column never touch the
   ``volume`` column's physical order;
 * a selection on one attribute returns stable *row ids*; sibling
@@ -19,9 +19,13 @@ tuple-reconstruction line of work the paper cites):
   face is real; the client fetches both faces of a logical row and
   keeps the real one.
 
-Tuple reconstruction is a second protocol round by construction
-(the first round cannot know which ids qualify); the session counts
-rounds so the cost is explicit.
+Like :class:`~repro.core.session.OutsourcedDatabase`, the table speaks
+only protocol messages: each column gets a
+:class:`~repro.net.client.RemoteColumn` handle over a shared transport
+(in-process loopback by default, TCP to a ``repro serve`` endpoint
+otherwise).  Tuple reconstruction is a second protocol round by
+construction (the first round cannot know which ids qualify); the
+table counts rounds so the cost is explicit.
 """
 
 from __future__ import annotations
@@ -32,31 +36,48 @@ from typing import Dict, Iterable, List, Sequence
 import numpy as np
 
 from repro.core.client import TrustedClient
-from repro.core.encrypted_column import EncryptedColumn
 from repro.core.query import EncryptedQuery
 from repro.core.secure_index import SecureAdaptiveIndex
 from repro.crypto.ciphertext import ValueCiphertext
-from repro.errors import QueryError, UpdateError
+from repro.errors import ProtocolError, QueryError, UpdateError
+from repro.net.catalog import ColumnCatalog
+from repro.net.client import RemoteColumn
+from repro.net.transport import LoopbackTransport, Transport
+from repro.obs import Observability
 
 
 class SecureTableServer:
-    """Server side: one adaptive engine per encrypted column.
+    """Server side of a table: a named-column view over a catalog.
+
+    Constructing one registers each ciphertext column in a
+    :class:`~repro.net.catalog.ColumnCatalog` (a private one unless an
+    existing catalog is passed); :meth:`attached` instead views columns
+    that already live in a catalog — e.g. ones uploaded through the
+    wire protocol.  Either way the per-column engines are ordinary
+    :class:`~repro.core.server.SecureServer` instances, so tests and
+    benchmarks can introspect cracking state through :meth:`engine`.
 
     Args:
-        columns: mapping of attribute name to (rows, row_ids); all
+        columns: mapping of attribute name to ciphertext rows; all
             columns must share the same id set.
-        engine_kwargs: forwarded to every column's engine.
+        row_ids: the shared physical ids.
+        catalog: register into this catalog instead of a private one.
+        namespace: prefix for catalog column names (so several tables
+            can share one endpoint without clashing).
+        engine_kwargs: engine configuration for every column (the
+            :data:`~repro.net.protocol.CONFIG_DEFAULTS` knobs).
     """
 
     def __init__(
         self,
         columns: Dict[str, Sequence[ValueCiphertext]],
         row_ids: Sequence[int],
+        catalog: ColumnCatalog = None,
+        namespace: str = "",
         **engine_kwargs,
     ) -> None:
         if not columns:
             raise UpdateError("a table needs at least one column")
-        self._engines: Dict[str, SecureAdaptiveIndex] = {}
         row_ids = list(row_ids)
         for name, rows in columns.items():
             if len(rows) != len(row_ids):
@@ -64,30 +85,53 @@ class SecureTableServer:
                     "column %r has %d rows, expected %d"
                     % (name, len(rows), len(row_ids))
                 )
-            self._engines[name] = SecureAdaptiveIndex(
-                EncryptedColumn(rows, row_ids), **engine_kwargs
+        self._catalog = catalog if catalog is not None else ColumnCatalog()
+        self._namespace = namespace
+        self._names = list(columns)
+        for name, rows in columns.items():
+            self._catalog.create_column(
+                namespace + name, rows, row_ids, dict(engine_kwargs)
             )
         self.requests_served = 0
 
+    @classmethod
+    def attached(
+        cls, catalog: ColumnCatalog, names: Sequence[str], namespace: str = ""
+    ) -> "SecureTableServer":
+        """View columns that already exist in ``catalog`` (no upload)."""
+        view = cls.__new__(cls)
+        view._catalog = catalog
+        view._namespace = namespace
+        view._names = list(names)
+        view.requests_served = 0
+        return view
+
+    @property
+    def catalog(self) -> ColumnCatalog:
+        """The catalog hosting this table's columns."""
+        return self._catalog
+
     @property
     def column_names(self) -> List[str]:
-        """All attribute names."""
-        return list(self._engines)
+        """All attribute names (without the catalog namespace)."""
+        return list(self._names)
 
     def engine(self, name: str) -> SecureAdaptiveIndex:
         """The adaptive engine behind one column."""
-        try:
-            return self._engines[name]
-        except KeyError:
-            raise QueryError("unknown column: %r" % name) from None
+        if name not in self._names:
+            raise QueryError("unknown column: %r" % name)
+        return self._catalog.server(self._namespace + name).engine
 
     def select(self, name: str, query: EncryptedQuery):
         """Range-select on one column; cracks it as a side effect.
 
         Returns ``(row_ids, ciphertext_rows)`` of that column.
         """
+        if name not in self._names:
+            raise QueryError("unknown column: %r" % name)
         self.requests_served += 1
-        return self.engine(name).query(query)
+        response = self._catalog.server(self._namespace + name).execute(query)
+        return response.row_ids, response.rows
 
     def fetch(self, name: str, row_ids: Iterable[int]) -> List[ValueCiphertext]:
         """Materialise one column's rows by id (tuple reconstruction)."""
@@ -121,6 +165,11 @@ class OutsourcedTable:
             :class:`~repro.core.session.OutsourcedDatabase`; one key
             covers all columns (per-column keys would also work — the
             ciphertexts never interact across columns).
+        transport: channel to the server endpoint; ``None`` (default)
+            creates a private loopback catalog.
+        namespace: prefix for this table's column names at the
+            endpoint (needed when several tables share one server).
+        obs: observability bundle for the client-side counters.
         engine_kwargs: forwarded to every column engine.
     """
 
@@ -131,6 +180,9 @@ class OutsourcedTable:
         seed: int = None,
         key=None,
         key_length: int = 4,
+        transport: Transport = None,
+        namespace: str = "",
+        obs: Observability = None,
         **engine_kwargs,
     ) -> None:
         if not columns:
@@ -151,14 +203,21 @@ class OutsourcedTable:
             key_length=key_length,
             fake_domain=fake_domain,
         )
-        encrypted: Dict[str, List[ValueCiphertext]] = {}
-        shared_ids = None
+        self._obs = obs if obs is not None else Observability()
+        if transport is None:
+            self._catalog = ColumnCatalog(obs=self._obs)
+            transport = LoopbackTransport(self._catalog)
+        else:
+            self._catalog = None
+        self._transport = transport
+        self._namespace = namespace
+        self._names = list(columns)
+        self._handles: Dict[str, RemoteColumn] = {}
         for name, values in columns.items():
             rows, row_ids = self.client.encrypt_dataset(values)
-            encrypted[name] = rows
-            if shared_ids is None:
-                shared_ids = row_ids
-        self.server = SecureTableServer(encrypted, shared_ids, **engine_kwargs)
+            handle = RemoteColumn(transport, namespace + name, obs=self._obs)
+            handle.create(rows, row_ids, dict(engine_kwargs))
+            self._handles[name] = handle
         self.round_trips = 0
 
     def __len__(self) -> int:
@@ -167,7 +226,35 @@ class OutsourcedTable:
     @property
     def column_names(self) -> List[str]:
         """All attribute names."""
-        return self.server.column_names
+        return list(self._names)
+
+    @property
+    def transport(self) -> Transport:
+        """The transport shared by every column handle."""
+        return self._transport
+
+    @property
+    def server(self) -> SecureTableServer:
+        """A server-side view of this table's columns.
+
+        Only available over loopback (tests introspect cracking state
+        through it); over a remote transport the columns live in
+        another process and this raises :class:`ProtocolError`.
+        """
+        if self._catalog is None:
+            raise ProtocolError(
+                "table is connected over a remote transport; "
+                "server state is not locally reachable"
+            )
+        return SecureTableServer.attached(
+            self._catalog, self._names, self._namespace
+        )
+
+    def _handle(self, name: str) -> RemoteColumn:
+        try:
+            return self._handles[name]
+        except KeyError:
+            raise QueryError("unknown column: %r" % name) from None
 
     # -- query processing ---------------------------------------------------
 
@@ -183,10 +270,11 @@ class OutsourcedTable:
 
         Either bound may be None for a one-sided select.
         """
+        handle = self._handle(name)
         query = self.client.make_query(low, high, low_inclusive, high_inclusive)
-        row_ids, rows = self.server.select(name, query)
+        response = handle.query(query)
         self.round_trips += 1
-        result = self.client.decrypt_results(row_ids, rows)
+        result = self.client.decrypt_results(response.row_ids, response.rows)
         return TableSelection(
             logical_ids=result.logical_ids, values=result.values
         )
@@ -199,6 +287,7 @@ class OutsourcedTable:
         real differs per column, so the request pattern reveals
         nothing).
         """
+        handle = self._handle(name)
         logical_ids = [int(i) for i in logical_ids]
         physical_ids: List[int] = []
         for logical in logical_ids:
@@ -206,7 +295,7 @@ class OutsourcedTable:
                 physical_ids.extend((2 * logical, 2 * logical + 1))
             else:
                 physical_ids.append(logical)
-        rows = self.server.fetch(name, physical_ids)
+        rows = handle.fetch(physical_ids)
         self.round_trips += 1
         values: List[int] = []
         if self.client.ambiguity:

@@ -1,4 +1,4 @@
-"""Server-state persistence: snapshot and restore an encrypted server.
+"""Server-state persistence: snapshot and restore encrypted servers.
 
 A cloud server restarts; the adaptive index it cracked into existence
 must not evaporate with it (the entire point of adaptive indexing is
@@ -7,11 +7,20 @@ that past queries already paid for it).  This module snapshots a
 current cracked order, the encrypted AVL tree (each node's double-
 encrypted bound and position), the pending-update buffer — into a
 JSON-compatible dictionary, and restores an equivalent server from it.
+:func:`snapshot_catalog` / :func:`restore_catalog` do the same for a
+whole endpoint: every named column of a
+:class:`~repro.net.catalog.ColumnCatalog`, with its create-time engine
+configuration, so a ``repro serve`` process can come back exactly
+where it crashed.
 
 Everything in a snapshot is ciphertext or public structure; snapshots
 are exactly as confidential as the server's RAM (i.e. safe to hold at
 the honest-but-curious server, revealing nothing beyond what query
 processing already revealed).
+
+Version history: version 1 omitted ``bytes_shipped`` and
+``record_stats``; version 2 adds both.  Version-1 snapshots restore
+with the old defaults (zero bytes shipped, stats recording on).
 """
 
 from __future__ import annotations
@@ -23,9 +32,16 @@ from repro.core.server import SecureServer
 from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
 from repro.crypto.serialization import ciphertext_from_dict, ciphertext_to_dict
 from repro.errors import SerializationError
+from repro.net.catalog import ColumnCatalog
+from repro.obs import Observability
 from repro.store.updates import PendingUpdates
 
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+CATALOG_SNAPSHOT_VERSION = 1
+
+#: Snapshot versions the read path accepts (older ones restore with
+#: documented defaults for the fields they predate).
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def snapshot_server(server: SecureServer) -> Dict[str, Any]:
@@ -57,6 +73,7 @@ def snapshot_server(server: SecureServer) -> Dict[str, Any]:
         "use_paper_tree_algorithms": getattr(
             engine, "_use_paper_algorithms", False
         ),
+        "record_stats": getattr(engine, "_record_stats", True),
         "rows": rows,
         "row_ids": [int(i) for i in column.row_ids],
         "tree": tree_nodes,
@@ -69,16 +86,21 @@ def snapshot_server(server: SecureServer) -> Dict[str, Any]:
         "next_row_id": updates.next_row_id,
         "queries_served": server.queries_served,
         "rows_shipped": server.rows_shipped,
+        "bytes_shipped": server.bytes_shipped,
     }
 
 
-def restore_server(snapshot: Dict[str, Any]) -> SecureServer:
+def restore_server(
+    snapshot: Dict[str, Any], obs: Observability = None
+) -> SecureServer:
     """Rebuild an equivalent server from a snapshot.
 
     The restored server answers every query identically to the
     original: the column keeps its cracked physical order and the AVL
     tree its bounds and positions (rebalanced shape may differ — shape
-    is not part of the contract).
+    is not part of the contract).  Accepts any version in
+    :data:`SUPPORTED_VERSIONS`; fields a version predates restore to
+    their historical defaults.
 
     Raises:
         SerializationError: on a malformed or wrong-kind snapshot.
@@ -87,7 +109,7 @@ def restore_server(snapshot: Dict[str, Any]) -> SecureServer:
         raise SerializationError(
             "expected a secure_server snapshot, got %r" % snapshot.get("kind")
         )
-    if snapshot.get("version") != SNAPSHOT_VERSION:
+    if snapshot.get("version") not in SUPPORTED_VERSIONS:
         raise SerializationError(
             "unsupported snapshot version: %r" % snapshot.get("version")
         )
@@ -102,6 +124,8 @@ def restore_server(snapshot: Dict[str, Any]) -> SecureServer:
             min_piece_size=snapshot["min_piece_size"],
             use_three_way=snapshot["use_three_way"],
             use_paper_tree_algorithms=snapshot["use_paper_tree_algorithms"],
+            record_stats=bool(snapshot.get("record_stats", True)),
+            obs=obs,
         )
         engine = server.engine
         for node_data in snapshot["tree"]:
@@ -126,6 +150,59 @@ def restore_server(snapshot: Dict[str, Any]) -> SecureServer:
         )
         server.queries_served = int(snapshot["queries_served"])
         server.rows_shipped = int(snapshot["rows_shipped"])
+        server.bytes_shipped = int(snapshot.get("bytes_shipped", 0))
         return server
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError("malformed snapshot: %s" % exc) from exc
+
+
+def snapshot_catalog(catalog: ColumnCatalog) -> Dict[str, Any]:
+    """Serialize every column of an endpoint's catalog."""
+    columns = {}
+    for name in catalog.column_names:
+        columns[name] = {
+            "config": catalog.config(name),
+            "server": snapshot_server(catalog.server(name)),
+        }
+    return {
+        "kind": "column_catalog",
+        "version": CATALOG_SNAPSHOT_VERSION,
+        "columns": columns,
+    }
+
+
+def restore_catalog(
+    snapshot: Dict[str, Any], obs: Observability = None
+) -> ColumnCatalog:
+    """Rebuild a whole endpoint from a catalog snapshot.
+
+    Raises:
+        SerializationError: on a malformed or wrong-kind snapshot.
+    """
+    if snapshot.get("kind") != "column_catalog":
+        raise SerializationError(
+            "expected a column_catalog snapshot, got %r" % snapshot.get("kind")
+        )
+    if snapshot.get("version") != CATALOG_SNAPSHOT_VERSION:
+        raise SerializationError(
+            "unsupported catalog snapshot version: %r"
+            % snapshot.get("version")
+        )
+    catalog = ColumnCatalog(obs=obs)
+    try:
+        columns = snapshot["columns"]
+        items = sorted(columns.items())
+    except (AttributeError, KeyError, TypeError) as exc:
+        raise SerializationError("malformed catalog snapshot: %s" % exc) from exc
+    for name, entry in items:
+        try:
+            config = dict(entry["config"])
+            server_snapshot = entry["server"]
+        except (KeyError, TypeError) as exc:
+            raise SerializationError(
+                "malformed catalog snapshot column %r: %s" % (name, exc)
+            ) from exc
+        catalog.adopt_column(
+            name, restore_server(server_snapshot, obs=catalog.obs), config
+        )
+    return catalog

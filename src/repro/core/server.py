@@ -44,7 +44,11 @@ class ServerResponse:
 
     @property
     def size_bytes(self) -> int:
-        """Wire size of the response (ciphertext rows plus row ids)."""
+        """Estimated wire size of the response (ciphertext rows plus
+        row ids, under a compact binary coding).  Transports measure
+        the real encoded frame lengths; this estimate feeds the
+        server-side ``bytes_shipped`` ledger, which exists even when no
+        transport is watching."""
         return sum(row.size_bytes for row in self.rows) + ROW_ID_BYTES * len(
             self.row_ids
         )
@@ -130,6 +134,11 @@ class SecureServer:
     def pending_count(self) -> int:
         """Rows waiting in the pending buffer."""
         return len(self._updates)
+
+    @property
+    def record_stats(self) -> bool:
+        """Whether the engine records per-query cost breakdowns."""
+        return bool(getattr(self._engine, "_record_stats", True))
 
     # -- query path ---------------------------------------------------------------
 

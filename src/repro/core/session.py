@@ -1,11 +1,20 @@
 """End-to-end outsourced database session.
 
 :class:`OutsourcedDatabase` wires a :class:`~repro.core.client.TrustedClient`
-to a :class:`~repro.core.server.SecureServer` and exposes the plaintext
+to a named column on a server endpoint and exposes the plaintext
 interface the data owner actually uses: load a column, run range and
 point queries, insert and delete values.  Each query is exactly one
 round trip (paper requirement 5) — the session counts them so tests can
 enforce it.
+
+The session never holds a server reference.  It speaks only protocol
+messages through a :class:`~repro.net.client.RemoteColumn` handle over
+a pluggable transport: the default is an in-process loopback onto a
+private :class:`~repro.net.catalog.ColumnCatalog` (still encoding and
+decoding every frame), and passing ``transport=TcpTransport(...)``
+moves the whole session onto a remote ``repro serve`` endpoint without
+any other change.  :attr:`bytes_sent` / :attr:`bytes_received` are the
+summed lengths of the actually-encoded frames, not estimates.
 
 The session also implements the client-assisted stochastic-cracking
 extension: with ``jitter_pivots > 0`` the client attaches that many
@@ -23,14 +32,16 @@ from typing import Dict, List, Sequence, Tuple
 import numpy as np
 
 from repro.core.client import ClientResult, TrustedClient
-from repro.core.server import SecureServer
 from repro.crypto.key import SecretKey
-from repro.errors import QueryError, UpdateError
+from repro.errors import ProtocolError, QueryError, UpdateError
+from repro.net.catalog import ColumnCatalog
+from repro.net.client import RemoteColumn
+from repro.net.transport import LoopbackTransport, Transport
 from repro.obs import Observability
 
 
 class OutsourcedDatabase:
-    """One encrypted column outsourced to a (simulated) cloud server.
+    """One encrypted column outsourced to a (possibly remote) server.
 
     Args:
         values: the plaintext column to outsource.
@@ -45,6 +56,13 @@ class OutsourcedDatabase:
             to each query (0 disables; requires the adaptive engine).
         pivot_domain: half-open plaintext interval pivots are drawn
             from; defaults to the column's observed min/max.
+        transport: channel to the server endpoint.  ``None`` (default)
+            creates a private in-process catalog behind a loopback
+            transport; a :class:`~repro.net.transport.TcpTransport`
+            points the session at a ``repro serve`` endpoint.
+        column: the name this session's column is registered under at
+            the endpoint (sessions sharing one endpoint pick distinct
+            names).
         min_piece_size / use_three_way / use_paper_tree_algorithms /
             record_stats: forwarded to the server engine.
     """
@@ -66,8 +84,12 @@ class OutsourcedDatabase:
         use_paper_tree_algorithms: bool = False,
         record_stats: bool = True,
         obs: Observability = None,
+        transport: Transport = None,
+        column: str = "values",
     ) -> None:
         values = [int(v) for v in values]
+        if jitter_pivots and engine != "adaptive":
+            raise QueryError("jitter pivots require the adaptive engine")
         self._obs = obs if obs is not None else Observability()
         metrics = self._obs.metrics
         # Protocol counters exist from the start so a metrics snapshot
@@ -84,9 +106,9 @@ class OutsourcedDatabase:
             fake_domain=fake_domain,
         )
         rows, row_ids = self.client.encrypt_dataset(values)
-        # The full server configuration is kept on the session so that
-        # maintenance operations rebuilding the server (key rotation)
-        # restore every knob, not just a subset.
+        # The full server configuration is kept on the session (and at
+        # the catalog) so maintenance operations rebuilding the column
+        # (key rotation) restore every knob, not just a subset.
         self._server_config = dict(
             engine=engine,
             auto_merge_threshold=auto_merge_threshold,
@@ -95,11 +117,17 @@ class OutsourcedDatabase:
             use_paper_tree_algorithms=use_paper_tree_algorithms,
             record_stats=record_stats,
         )
-        self.server = SecureServer(
-            rows, row_ids, obs=self._obs, **self._server_config
-        )
-        if jitter_pivots and engine != "adaptive":
-            raise QueryError("jitter pivots require the adaptive engine")
+        if transport is None:
+            # Loopback deployment: the session owns a private endpoint,
+            # but still reaches it only through encoded frames.
+            self._catalog = ColumnCatalog(obs=self._obs)
+            transport = LoopbackTransport(self._catalog)
+        else:
+            self._catalog = None
+        self._transport = transport
+        self._column_name = column
+        self._remote = RemoteColumn(transport, column, obs=self._obs)
+        self._remote.create(rows, row_ids, self._server_config)
         self._jitter_pivots = int(jitter_pivots)
         if pivot_domain is None and values:
             pivot_domain = (min(values), max(values) + 1)
@@ -118,8 +146,50 @@ class OutsourcedDatabase:
 
     @property
     def obs(self) -> Observability:
-        """The session-wide observability bundle (shared with server)."""
+        """The session-wide observability bundle (shared with a
+        loopback endpoint; a remote endpoint keeps its own)."""
         return self._obs
+
+    @property
+    def column_name(self) -> str:
+        """The name this session's column is registered under."""
+        return self._column_name
+
+    @property
+    def remote(self) -> RemoteColumn:
+        """The protocol handle this session speaks through."""
+        return self._remote
+
+    @property
+    def transport(self) -> Transport:
+        """The transport under the session (loopback or TCP)."""
+        return self._transport
+
+    @property
+    def server(self):
+        """The in-process :class:`~repro.core.server.SecureServer`.
+
+        Only a loopback session can reach engine state directly (tests
+        and benchmarks introspect cracking through it); over a remote
+        transport the server lives in another process and this raises
+        :class:`ProtocolError`.
+        """
+        if self._catalog is None:
+            raise ProtocolError(
+                "session is connected over a remote transport; "
+                "server state is not locally reachable"
+            )
+        return self._catalog.server(self._column_name)
+
+    @server.setter
+    def server(self, new_server) -> None:
+        """Swap the loopback column's engine (snapshot restore)."""
+        if self._catalog is None:
+            raise ProtocolError(
+                "session is connected over a remote transport; "
+                "server state is not locally reachable"
+            )
+        self._catalog.replace_server(self._column_name, new_server)
 
     @property
     def round_trips(self) -> int:
@@ -128,13 +198,21 @@ class OutsourcedDatabase:
 
     @property
     def bytes_sent(self) -> int:
-        """Client-to-server query bytes (``protocol.bytes_sent``)."""
+        """Workload bytes shipped to the server: summed lengths of the
+        actually-encoded request frames (``protocol.bytes_sent``)."""
         return self._bytes_sent.value
 
     @property
     def bytes_received(self) -> int:
-        """Server-to-client response bytes (``protocol.bytes_received``)."""
+        """Workload bytes received from the server: summed lengths of
+        the encoded response frames (``protocol.bytes_received``)."""
         return self._bytes_received.value
+
+    def _account_exchange(self) -> None:
+        """Fold the last exchange's frame lengths into the workload
+        counters (maintenance traffic skips this)."""
+        self._bytes_sent.add(self._remote.last_sent_bytes)
+        self._bytes_received.add(self._remote.last_received_bytes)
 
     # -- queries ------------------------------------------------------------------
 
@@ -154,10 +232,9 @@ class OutsourcedDatabase:
             message = self.client.make_query(
                 low, high, low_inclusive, high_inclusive, pivots=pivots
             )
-            self._bytes_sent.add(message.size_bytes)
-            response = self.server.execute(message)
+            response = self._remote.query(message)
             self._round_trips.add(1)
-            self._bytes_received.add(response.size_bytes)
+            self._account_exchange()
             result = self.client.decrypt_results(
                 response.row_ids, response.rows, id_mapper=self._map_physical_id
             )
@@ -186,7 +263,8 @@ class OutsourcedDatabase:
     def insert(self, value: int) -> int:
         """Encrypt and insert a new value; returns its logical id."""
         rows = self.client.encrypt_value(int(value))
-        physical_ids = self.server.insert(rows)
+        physical_ids = self._remote.insert(rows)
+        self._account_exchange()
         logical_id = self._logical_count
         self._logical_count += 1
         for physical_id in physical_ids:
@@ -196,11 +274,14 @@ class OutsourcedDatabase:
 
     def delete(self, logical_id: int) -> None:
         """Delete a value by logical id (base or inserted)."""
-        self.server.delete(self._physical_ids_of(logical_id))
+        self._remote.delete(self._physical_ids_of(logical_id))
+        self._account_exchange()
 
     def merge(self) -> int:
         """Merge the server's pending buffer into the cracked column."""
-        return self.server.merge_pending()
+        delta = self._remote.merge()
+        self._account_exchange()
+        return delta
 
     def rotate_key(self, new_seed: int = None) -> Dict[int, int]:
         """Re-encrypt everything under a fresh key.
@@ -208,10 +289,15 @@ class OutsourcedDatabase:
         Periodic key rotation is standard hygiene — and under this
         scheme it is also the recovery path after a suspected
         known-plaintext exposure (the attacks of Section 3.5 break the
-        *key*, not the primitive).  The client fetches all live rows in
-        one round, merges pending state, draws a fresh key, re-encrypts,
-        and replaces the server state; the adaptive index restarts
-        empty (its structure was derived under the old ciphertexts).
+        *key*, not the primitive).  The rotation is a two-message
+        protocol: ``RotateBegin`` makes the server merge pending state
+        and ship every live row in one round; the client draws a fresh
+        key, re-encrypts, and ships ``RotateApply``, on which the
+        server rebuilds the column under its original configuration
+        (auto-merge threshold, three-way cracking, paper-tree
+        algorithms, stats recording, minimum piece size).  The adaptive
+        index restarts empty — its structure was derived under the old
+        ciphertexts.
 
         Logical ids are compacted; returns the old-to-new id mapping.
 
@@ -219,14 +305,14 @@ class OutsourcedDatabase:
         is arbitrary precision, so no finite sentinel range is safe)
         and internal: it attaches no jitter pivots and is excluded from
         :attr:`round_trips` / :attr:`client_stats` / :attr:`bytes_sent`,
-        which account the observed workload only.  The rebuilt server
-        keeps the session's full original configuration
-        (auto-merge threshold, three-way cracking, paper-tree
-        algorithms, stats recording, minimum piece size).
+        which account the observed workload only (the ``net.*``
+        counters still see the maintenance frames).
         """
         self._obs.metrics.add("session.key_rotations")
-        self.merge()
-        everything = self._fetch_all()
+        response = self._remote.rotate_begin()
+        everything = self.client.decrypt_results(
+            response.row_ids, response.rows, id_mapper=self._map_physical_id
+        )
         old_ids = [int(i) for i in everything.logical_ids]
         values = [int(v) for v in everything.values]
         order = sorted(range(len(old_ids)), key=lambda i: old_ids[i])
@@ -240,29 +326,12 @@ class OutsourcedDatabase:
             fake_domain=self.client.fake_domain,
         )
         rows, row_ids = self.client.encrypt_dataset(values)
-        # Reuse the session bundle so metric history survives the
-        # server rebuild (same registry, same audit log, same tracer).
-        self.server = SecureServer(
-            rows, row_ids, obs=self._obs, **self._server_config
-        )
+        self._remote.rotate_apply(rows, row_ids)
         self._logical_count = len(values)
         self._base_physical_count = len(rows)
         self._inserted_physical_to_logical = {}
         self._logical_to_physical = {}
         return mapping
-
-    def _fetch_all(self) -> ClientResult:
-        """Fetch every live row for internal maintenance.
-
-        Unlike :meth:`query` this draws no jitter pivots and does not
-        touch the session's protocol accounting — maintenance traffic
-        is not part of the workload the experiments measure.
-        """
-        message = self.client.make_query()
-        response = self.server.execute(message)
-        return self.client.decrypt_results(
-            response.row_ids, response.rows, id_mapper=self._map_physical_id
-        )
 
     # -- internals --------------------------------------------------------------------
 

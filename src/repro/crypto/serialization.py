@@ -194,7 +194,7 @@ def query_from_dict(data: Dict[str, Any]):
             high_inclusive=bool(data["high_inclusive"]),
             pivots=tuple(bound_from_dict(p) for p in data["pivots"]),
         )
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError("malformed query payload: %s" % exc) from exc
 
 
@@ -223,7 +223,7 @@ def response_from_dict(data: Dict[str, Any]):
             row_ids=np.array([int(i) for i in data["row_ids"]], dtype=np.int64),
             rows=rows,
         )
-    except (KeyError, TypeError) as exc:
+    except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(
             "malformed response payload: %s" % exc
         ) from exc

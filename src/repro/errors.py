@@ -64,6 +64,13 @@ class ProtocolError(ReproError):
     for an unknown query id)."""
 
 
+class TransportError(ProtocolError):
+    """The transport under a session failed (connection refused, timed
+    out, or closed mid-exchange).  A :class:`ProtocolError` because a
+    broken transport violates the session protocol, but typed so
+    callers can retry connectivity failures specifically."""
+
+
 class AttackError(ReproError):
     """An attack simulation was configured inconsistently (not a failure
     of the attack itself — unsuccessful attacks return results)."""

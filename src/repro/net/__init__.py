@@ -1,0 +1,63 @@
+"""`repro.net` — the explicit client/server seam.
+
+The paper's threat model separates a trusted client from an
+honest-but-curious server; this package is that separation made
+mechanical.  It has three layers:
+
+* :mod:`repro.net.protocol` — serializable request/response envelopes
+  (query, insert, delete, merge, key-rotation begin/apply, column
+  upload, tuple-reconstruction fetch) plus a versioned error envelope,
+  and the deterministic frame codec.
+* :mod:`repro.net.transport` — how frames move:
+  :class:`LoopbackTransport` (in-process default; still encodes and
+  decodes every message) and :class:`TcpTransport` (length-prefixed
+  frames to a ``repro serve`` endpoint), both surfacing failures as a
+  typed :class:`~repro.errors.TransportError`.
+* :mod:`repro.net.catalog` / :mod:`repro.net.server` — the server
+  side: a :class:`ColumnCatalog` hosting many named columns (one
+  :class:`~repro.core.server.SecureServer` each) behind a single
+  dispatcher, and the threaded TCP endpoint in front of it.
+
+:class:`~repro.net.client.RemoteColumn` is the client-side handle
+sessions hold instead of a server reference.  Wire details are
+documented in ``docs/protocol.md``.
+"""
+
+from __future__ import annotations
+
+from repro.net.catalog import ColumnCatalog
+from repro.net.client import RemoteColumn
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    ErrorResponse,
+    decode_frame,
+    encode_frame,
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+from repro.net.server import CatalogTCPServer, serve
+from repro.net.transport import (
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+)
+
+__all__ = [
+    "CatalogTCPServer",
+    "ColumnCatalog",
+    "ErrorResponse",
+    "LoopbackTransport",
+    "PROTOCOL_VERSION",
+    "RemoteColumn",
+    "TcpTransport",
+    "Transport",
+    "decode_frame",
+    "encode_frame",
+    "request_from_dict",
+    "request_to_dict",
+    "response_from_dict",
+    "response_to_dict",
+    "serve",
+]

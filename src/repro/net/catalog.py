@@ -1,0 +1,250 @@
+"""Server-side endpoint: a catalog of named encrypted columns.
+
+One :class:`ColumnCatalog` is the whole server side of a deployment:
+it hosts many named columns — one
+:class:`~repro.core.server.SecureServer` engine each — behind a single
+dispatch entry point, so multiple sessions (and the SQL executor's
+multi-column tables) address columns by name through the same wire
+protocol.  This mirrors the service-layer routing of Enc2DB and the
+client/enclave split of HardIDX (PAPERS.md): the trust boundary is a
+message interface, not a Python reference.
+
+Dispatch is the only door: a request envelope dict goes in, a response
+envelope dict comes out, and every server-side failure — unknown
+column, malformed payload, engine error — leaves as a versioned
+:class:`~repro.net.protocol.ErrorResponse` rather than an exception,
+so one bad client cannot take down a serving thread.
+
+Columns are independently locked: concurrent sessions on different
+columns proceed in parallel and never interleave engine state, while
+requests against one column serialize (cracking mutates the column).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.query import EncryptedQuery
+from repro.core.server import SecureServer
+from repro.errors import ProtocolError, QueryError, ReproError, UpdateError
+from repro.net.protocol import (
+    CONFIG_DEFAULTS,
+    CreateColumnRequest,
+    CreateColumnResponse,
+    DeleteRequest,
+    DeleteResponse,
+    ErrorResponse,
+    FetchRequest,
+    FetchResponse,
+    InsertRequest,
+    InsertResponse,
+    MergeRequest,
+    MergeResponse,
+    QueryRequest,
+    QueryResponse,
+    RotateApplyRequest,
+    RotateApplyResponse,
+    RotateBeginRequest,
+    RotateBeginResponse,
+    error_response_for,
+    request_from_dict,
+    response_to_dict,
+)
+from repro.obs import Observability
+
+
+class ColumnCatalog:
+    """Hosts named encrypted columns behind one dispatch entry point.
+
+    Args:
+        obs: shared observability bundle; every hosted engine reports
+            into it (one registry per endpoint).  A private bundle is
+            created when omitted.
+    """
+
+    def __init__(self, obs: Observability = None) -> None:
+        self._obs = obs if obs is not None else Observability()
+        self._registry_lock = threading.Lock()
+        self._servers: Dict[str, SecureServer] = {}
+        self._configs: Dict[str, Dict[str, Any]] = {}
+        self._locks: Dict[str, threading.Lock] = {}
+
+    @property
+    def obs(self) -> Observability:
+        """The endpoint-wide observability bundle."""
+        return self._obs
+
+    @property
+    def column_names(self) -> List[str]:
+        """Names of all hosted columns."""
+        with self._registry_lock:
+            return sorted(self._servers)
+
+    def __len__(self) -> int:
+        with self._registry_lock:
+            return len(self._servers)
+
+    # -- column registry ---------------------------------------------------------
+
+    def create_column(
+        self,
+        name: str,
+        rows: Sequence,
+        row_ids: Optional[Sequence[int]] = None,
+        config: Dict[str, Any] = None,
+    ) -> SecureServer:
+        """Create a named column from uploaded ciphertext rows.
+
+        ``config`` takes the :class:`SecureServer` engine knobs (see
+        :data:`~repro.net.protocol.CONFIG_DEFAULTS`); the catalog keeps
+        it so key rotation can rebuild the engine with every knob
+        intact.
+
+        Raises:
+            UpdateError: empty name or duplicate column.
+        """
+        if not name:
+            raise UpdateError("column name must be non-empty")
+        merged = dict(CONFIG_DEFAULTS)
+        merged.update(config or {})
+        unknown = set(merged) - set(CONFIG_DEFAULTS)
+        if unknown:
+            raise UpdateError(
+                "unknown column config keys: %s" % ", ".join(sorted(unknown))
+            )
+        server = SecureServer(list(rows), row_ids, obs=self._obs, **merged)
+        with self._registry_lock:
+            if name in self._servers:
+                raise UpdateError("column %r already exists" % name)
+            self._servers[name] = server
+            self._configs[name] = merged
+            self._locks[name] = threading.Lock()
+        self._obs.metrics.add("net.columns_created")
+        return server
+
+    def adopt_column(
+        self, name: str, server: SecureServer, config: Dict[str, Any]
+    ) -> None:
+        """Install an already-built server under a name (restore path)."""
+        if not name:
+            raise UpdateError("column name must be non-empty")
+        with self._registry_lock:
+            if name in self._servers:
+                raise UpdateError("column %r already exists" % name)
+            self._servers[name] = server
+            self._configs[name] = dict(config)
+            self._locks[name] = threading.Lock()
+
+    def server(self, name: str) -> SecureServer:
+        """The engine behind one column.
+
+        Raises:
+            QueryError: for unknown names.
+        """
+        with self._registry_lock:
+            try:
+                return self._servers[name]
+            except KeyError:
+                raise QueryError("unknown column: %r" % name) from None
+
+    def replace_server(self, name: str, server: SecureServer) -> None:
+        """Swap the engine behind an *existing* column in place.
+
+        The snapshot-restore path: the column keeps its name, config,
+        and lock; only the engine state changes.
+
+        Raises:
+            QueryError: for unknown names.
+        """
+        with self._registry_lock:
+            if name not in self._servers:
+                raise QueryError("unknown column: %r" % name)
+            self._servers[name] = server
+
+    def config(self, name: str) -> Dict[str, Any]:
+        """The create-time engine configuration of one column."""
+        with self._registry_lock:
+            try:
+                return dict(self._configs[name])
+            except KeyError:
+                raise QueryError("unknown column: %r" % name) from None
+
+    def _column_lock(self, name: str) -> threading.Lock:
+        with self._registry_lock:
+            try:
+                return self._locks[name]
+            except KeyError:
+                raise QueryError("unknown column: %r" % name) from None
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def dispatch(self, request_dict: Dict[str, Any]) -> Dict[str, Any]:
+        """One request envelope dict in, one response envelope dict out.
+
+        Never raises for malformed or failing requests: every error is
+        returned as a typed :class:`ErrorResponse` envelope.
+        """
+        metrics = self._obs.metrics
+        metrics.add("net.requests")
+        kind = request_dict.get("kind") if isinstance(request_dict, dict) else None
+        with self._obs.span("rpc-serve", kind=kind):
+            try:
+                response = self.handle(request_from_dict(request_dict))
+            except ReproError as exc:
+                metrics.add("net.errors")
+                response = error_response_for(exc)
+            except Exception as exc:  # defensive: a serving thread must survive
+                metrics.add("net.errors")
+                response = ErrorResponse(
+                    code="internal",
+                    message="%s: %s" % (type(exc).__name__, exc),
+                )
+        return response_to_dict(response)
+
+    def handle(self, request):
+        """Execute one decoded request envelope against its column."""
+        if isinstance(request, CreateColumnRequest):
+            server = self.create_column(
+                request.column, request.rows, request.row_ids, request.config
+            )
+            return CreateColumnResponse(
+                column=request.column, rows_stored=len(server)
+            )
+        lock = self._column_lock(request.column)
+        with lock:
+            server = self.server(request.column)
+            if isinstance(request, QueryRequest):
+                return QueryResponse(response=server.execute(request.query))
+            if isinstance(request, FetchRequest):
+                return FetchResponse(
+                    rows=tuple(
+                        server.engine.column.rows_by_ids(request.row_ids)
+                    )
+                )
+            if isinstance(request, InsertRequest):
+                return InsertResponse(
+                    row_ids=tuple(server.insert(list(request.rows)))
+                )
+            if isinstance(request, DeleteRequest):
+                server.delete(request.row_ids)
+                return DeleteResponse(deleted=len(request.row_ids))
+            if isinstance(request, MergeRequest):
+                return MergeResponse(delta=server.merge_pending())
+            if isinstance(request, RotateBeginRequest):
+                server.merge_pending()
+                everything = server.execute(EncryptedQuery(low=None, high=None))
+                return RotateBeginResponse(response=everything)
+            if isinstance(request, RotateApplyRequest):
+                rebuilt = SecureServer(
+                    list(request.rows),
+                    list(request.row_ids),
+                    obs=self._obs,
+                    **self.config(request.column),
+                )
+                with self._registry_lock:
+                    self._servers[request.column] = rebuilt
+                return RotateApplyResponse(rows_stored=len(rebuilt))
+        raise ProtocolError(
+            "unhandled request type: %s" % type(request).__name__
+        )

@@ -1,0 +1,178 @@
+"""Client-side column handle: typed calls over an opaque transport.
+
+A :class:`RemoteColumn` is the only thing a session holds instead of a
+server reference: it encodes each request envelope to a frame, pushes
+the frame through its transport, decodes the response frame, and
+re-raises typed error envelopes.  Because encoding happens here — on
+the client side of the seam — the measured frame lengths are the real
+transfer costs: ``net.bytes_sent`` / ``net.bytes_received`` count
+every exchanged byte, and sessions read :attr:`last_sent_bytes` /
+:attr:`last_received_bytes` to account workload traffic exactly.
+
+Spans: ``transport-encode`` and ``transport-decode`` time the codec,
+``rpc`` times the round trip itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.core.query import EncryptedQuery
+from repro.core.server import ServerResponse
+from repro.errors import ProtocolError
+from repro.net.protocol import (
+    CreateColumnRequest,
+    CreateColumnResponse,
+    DeleteRequest,
+    DeleteResponse,
+    ErrorResponse,
+    FetchRequest,
+    FetchResponse,
+    InsertRequest,
+    InsertResponse,
+    MergeRequest,
+    MergeResponse,
+    QueryRequest,
+    QueryResponse,
+    RotateApplyRequest,
+    RotateApplyResponse,
+    RotateBeginRequest,
+    RotateBeginResponse,
+    decode_frame,
+    encode_frame,
+    raise_error_response,
+    request_to_dict,
+    response_from_dict,
+)
+from repro.net.transport import Transport
+from repro.obs import Observability
+
+
+class RemoteColumn:
+    """Typed protocol calls against one named column of an endpoint.
+
+    Args:
+        transport: the channel to the endpoint (loopback or TCP).
+        column: the column name requests address.
+        obs: observability bundle the ``net.*`` counters and
+            transport spans report into.
+    """
+
+    def __init__(
+        self, transport: Transport, column: str, obs: Observability = None
+    ) -> None:
+        self._transport = transport
+        self.column = column
+        self._obs = obs if obs is not None else Observability()
+        metrics = self._obs.metrics
+        self._net_sent = metrics.counter("net.bytes_sent")
+        self._net_received = metrics.counter("net.bytes_received")
+        self._net_round_trips = metrics.counter("net.round_trips")
+        #: Frame lengths of the most recent exchange (request, response).
+        self.last_sent_bytes = 0
+        self.last_received_bytes = 0
+
+    @property
+    def transport(self) -> Transport:
+        """The underlying transport (shared across columns)."""
+        return self._transport
+
+    def call(self, request):
+        """One full round trip: encode, exchange, decode, raise errors."""
+        kind = type(request).__name__
+        with self._obs.span("transport-encode", kind=kind):
+            frame = encode_frame(request_to_dict(request))
+        with self._obs.span("rpc", kind=kind, column=self.column):
+            reply = self._transport.exchange(frame)
+        with self._obs.span("transport-decode", kind=kind):
+            response = response_from_dict(decode_frame(reply))
+        self.last_sent_bytes = len(frame)
+        self.last_received_bytes = len(reply)
+        self._net_sent.add(len(frame))
+        self._net_received.add(len(reply))
+        self._net_round_trips.add(1)
+        if isinstance(response, ErrorResponse):
+            raise_error_response(response)
+        return response
+
+    def _expect(self, response, expected_type):
+        if not isinstance(response, expected_type):
+            raise ProtocolError(
+                "expected %s, got %s"
+                % (expected_type.__name__, type(response).__name__)
+            )
+        return response
+
+    # -- typed operations --------------------------------------------------------
+
+    def create(
+        self,
+        rows: Sequence,
+        row_ids: Sequence[int],
+        config: Dict[str, Any] = None,
+    ) -> int:
+        """Upload the column; returns the stored physical row count."""
+        response = self.call(
+            CreateColumnRequest(
+                column=self.column,
+                rows=tuple(rows),
+                row_ids=tuple(int(i) for i in row_ids),
+                config=dict(config or {}),
+            )
+        )
+        return self._expect(response, CreateColumnResponse).rows_stored
+
+    def query(self, query: EncryptedQuery) -> ServerResponse:
+        """Run one encrypted query; returns the qualifying rows."""
+        response = self.call(QueryRequest(column=self.column, query=query))
+        return self._expect(response, QueryResponse).response
+
+    def fetch(self, row_ids: Sequence[int]) -> List:
+        """Materialise rows by physical id (tuple reconstruction)."""
+        response = self.call(
+            FetchRequest(
+                column=self.column, row_ids=tuple(int(i) for i in row_ids)
+            )
+        )
+        return list(self._expect(response, FetchResponse).rows)
+
+    def insert(self, rows: Sequence) -> List[int]:
+        """Buffer new encrypted rows; returns their assigned ids."""
+        response = self.call(
+            InsertRequest(column=self.column, rows=tuple(rows))
+        )
+        return list(self._expect(response, InsertResponse).row_ids)
+
+    def delete(self, row_ids: Sequence[int]) -> int:
+        """Tombstone rows by physical id; returns the count processed."""
+        response = self.call(
+            DeleteRequest(
+                column=self.column, row_ids=tuple(int(i) for i in row_ids)
+            )
+        )
+        return self._expect(response, DeleteResponse).deleted
+
+    def merge(self) -> int:
+        """Merge the pending buffer; returns the row-count delta."""
+        response = self.call(MergeRequest(column=self.column))
+        return self._expect(response, MergeResponse).delta
+
+    def rotate_begin(self) -> ServerResponse:
+        """Merge pending state and fetch every live row for rotation."""
+        response = self.call(RotateBeginRequest(column=self.column))
+        return self._expect(response, RotateBeginResponse).response
+
+    def rotate_apply(self, rows: Sequence, row_ids: Sequence[int]) -> int:
+        """Replace the column with re-encrypted rows; returns the count."""
+        response = self.call(
+            RotateApplyRequest(
+                column=self.column,
+                rows=tuple(rows),
+                row_ids=tuple(int(i) for i in row_ids),
+            )
+        )
+        return self._expect(response, RotateApplyResponse).rows_stored
+
+    def close(self) -> None:
+        """Close the underlying transport."""
+        self._transport.close()

@@ -1,0 +1,488 @@
+"""Wire protocol: the message envelopes crossing the client/server seam.
+
+The paper's deployment model (§2.1, §4) is an *outsourced* database:
+the trusted client and the honest-but-curious server are separate
+parties that exchange only ciphertext messages.  This module makes
+that seam explicit.  Every operation a session performs against a
+server is one of the request envelopes below; every answer is one of
+the response envelopes.  Envelopes serialize to JSON-compatible
+dictionaries built on the :mod:`repro.crypto.serialization` codecs
+(ciphertexts, queries, responses), each tagged with a ``kind`` and a
+``version`` so future layouts can coexist — including a versioned
+:class:`ErrorResponse` that carries typed failures across the wire.
+
+A *frame* is the canonical encoding of one envelope: compact UTF-8
+JSON with sorted keys.  Frames are deterministic — the same envelope
+always encodes to the same bytes — so the loopback and TCP transports
+produce byte-identical traffic for the same workload (pinned by
+tests), and measured frame lengths are meaningful transfer accounting.
+
+The column addressed by a request is named: one endpoint (a
+:class:`~repro.net.catalog.ColumnCatalog`) hosts many columns, each
+backed by its own :class:`~repro.core.server.SecureServer` engine.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.query import EncryptedQuery
+from repro.core.server import ServerResponse
+from repro.crypto.ciphertext import ValueCiphertext
+from repro.crypto.serialization import (
+    ciphertext_from_dict,
+    ciphertext_to_dict,
+    query_from_dict,
+    query_to_dict,
+    response_from_dict as server_response_from_dict,
+    response_to_dict as server_response_to_dict,
+)
+from repro.errors import (
+    ProtocolError,
+    QueryError,
+    ReproError,
+    SerializationError,
+    TransportError,
+    UpdateError,
+)
+
+#: Version tag carried by every envelope on the wire.
+PROTOCOL_VERSION = 1
+
+#: Server-engine configuration keys a ``create_column`` request may
+#: carry; the defaults mirror :class:`~repro.core.server.SecureServer`.
+CONFIG_DEFAULTS: Dict[str, Any] = {
+    "engine": "adaptive",
+    "auto_merge_threshold": None,
+    "min_piece_size": 1,
+    "use_three_way": False,
+    "use_paper_tree_algorithms": False,
+    "record_stats": True,
+}
+
+
+# -- request envelopes ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateColumnRequest:
+    """Upload a freshly encrypted column under a name."""
+
+    column: str
+    rows: Tuple[ValueCiphertext, ...]
+    row_ids: Tuple[int, ...]
+    config: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One range/point query against a named column."""
+
+    column: str
+    query: EncryptedQuery
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """Materialise rows of a named column by physical id (tuple
+    reconstruction)."""
+
+    column: str
+    row_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class InsertRequest:
+    """Buffer newly encrypted rows into a named column."""
+
+    column: str
+    rows: Tuple[ValueCiphertext, ...]
+
+
+@dataclass(frozen=True)
+class DeleteRequest:
+    """Tombstone rows of a named column by physical id."""
+
+    column: str
+    row_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class MergeRequest:
+    """Fold a named column's pending buffer into its cracked column."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class RotateBeginRequest:
+    """Start a key rotation: merge pending state and return every live
+    row of the column (the client re-encrypts them under a new key)."""
+
+    column: str
+
+
+@dataclass(frozen=True)
+class RotateApplyRequest:
+    """Finish a key rotation: replace the column's state with rows
+    re-encrypted under the new key.  The server rebuilds the engine
+    with the column's original configuration; the adaptive index
+    restarts empty (its structure was derived under old ciphertexts)."""
+
+    column: str
+    rows: Tuple[ValueCiphertext, ...]
+    row_ids: Tuple[int, ...]
+
+
+# -- response envelopes ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CreateColumnResponse:
+    """Acknowledges a column upload with the stored physical row count."""
+
+    column: str
+    rows_stored: int
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """The qualifying rows of one query, in a single round."""
+
+    response: ServerResponse
+
+
+@dataclass(frozen=True)
+class FetchResponse:
+    """Rows materialised by id, parallel to the requested ids."""
+
+    rows: Tuple[ValueCiphertext, ...]
+
+
+@dataclass(frozen=True)
+class InsertResponse:
+    """Physical ids assigned to buffered rows, in request order."""
+
+    row_ids: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class DeleteResponse:
+    """Acknowledges tombstoning with the number of ids processed."""
+
+    deleted: int
+
+
+@dataclass(frozen=True)
+class MergeResponse:
+    """Row-count delta applied by the merge (inserts minus reclaims)."""
+
+    delta: int
+
+
+@dataclass(frozen=True)
+class RotateBeginResponse:
+    """Every live row of the column, for client-side re-encryption."""
+
+    response: ServerResponse
+
+
+@dataclass(frozen=True)
+class RotateApplyResponse:
+    """Acknowledges the rebuilt column with its stored row count."""
+
+    rows_stored: int
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A typed, versioned failure envelope.
+
+    ``code`` selects the exception class re-raised client-side (see
+    :data:`ERROR_CLASSES`); ``message`` is the server-side detail.
+    """
+
+    code: str
+    message: str
+
+
+#: Wire ``code`` -> exception class raised at the client.  Unknown
+#: codes degrade to :class:`ProtocolError` (never a silent pass).
+ERROR_CLASSES: Dict[str, type] = {
+    "query": QueryError,
+    "update": UpdateError,
+    "serialization": SerializationError,
+    "transport": TransportError,
+    "protocol": ProtocolError,
+    "internal": ProtocolError,
+}
+
+#: Most-specific-first mapping of server-side exceptions to wire codes.
+_ERROR_CODES: Tuple[Tuple[type, str], ...] = (
+    (TransportError, "transport"),
+    (QueryError, "query"),
+    (UpdateError, "update"),
+    (SerializationError, "serialization"),
+    (ProtocolError, "protocol"),
+    (ReproError, "internal"),
+)
+
+
+def error_response_for(exc: BaseException) -> ErrorResponse:
+    """Wrap a server-side exception into a wire error envelope."""
+    for cls, code in _ERROR_CODES:
+        if isinstance(exc, cls):
+            return ErrorResponse(code=code, message=str(exc))
+    return ErrorResponse(
+        code="internal", message="%s: %s" % (type(exc).__name__, exc)
+    )
+
+
+def raise_error_response(error: ErrorResponse) -> None:
+    """Re-raise a wire error envelope as its typed exception."""
+    raise ERROR_CLASSES.get(error.code, ProtocolError)(error.message)
+
+
+# -- dict codecs ----------------------------------------------------------------
+
+_REQUEST_KINDS = {
+    CreateColumnRequest: "create_column",
+    QueryRequest: "query_request",
+    FetchRequest: "fetch_request",
+    InsertRequest: "insert_request",
+    DeleteRequest: "delete_request",
+    MergeRequest: "merge_request",
+    RotateBeginRequest: "rotate_begin",
+    RotateApplyRequest: "rotate_apply",
+}
+
+_RESPONSE_KINDS = {
+    CreateColumnResponse: "create_column_response",
+    QueryResponse: "query_response",
+    FetchResponse: "fetch_response",
+    InsertResponse: "insert_response",
+    DeleteResponse: "delete_response",
+    MergeResponse: "merge_response",
+    RotateBeginResponse: "rotate_begin_response",
+    RotateApplyResponse: "rotate_apply_response",
+    ErrorResponse: "error_response",
+}
+
+
+def _envelope(kind: str, **fields) -> Dict[str, Any]:
+    payload = {"kind": kind, "version": PROTOCOL_VERSION}
+    payload.update(fields)
+    return payload
+
+
+def _check_envelope(data: Dict[str, Any], expected: Optional[str] = None) -> str:
+    if not isinstance(data, dict):
+        raise SerializationError("envelope must be a JSON object")
+    kind = data.get("kind")
+    if expected is not None and kind != expected:
+        raise SerializationError(
+            "expected envelope kind %r, got %r" % (expected, kind)
+        )
+    if data.get("version") != PROTOCOL_VERSION:
+        raise SerializationError(
+            "unsupported protocol version: %r" % (data.get("version"),)
+        )
+    if not isinstance(kind, str):
+        raise SerializationError("envelope kind must be a string")
+    return kind
+
+
+def _rows_to_list(rows) -> List[Dict[str, Any]]:
+    return [ciphertext_to_dict(row) for row in rows]
+
+
+def _rows_from_list(items) -> Tuple[ValueCiphertext, ...]:
+    rows = tuple(ciphertext_from_dict(item) for item in items)
+    if not all(isinstance(row, ValueCiphertext) for row in rows):
+        raise SerializationError("column rows must be value ciphertexts")
+    return rows
+
+
+def _ids_from_list(items) -> Tuple[int, ...]:
+    return tuple(int(i) for i in items)
+
+
+def _config_from_dict(data) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise SerializationError("column config must be an object")
+    unknown = set(data) - set(CONFIG_DEFAULTS)
+    if unknown:
+        raise SerializationError(
+            "unknown column config keys: %s" % ", ".join(sorted(unknown))
+        )
+    return dict(data)
+
+
+def request_to_dict(request) -> Dict[str, Any]:
+    """Serialize any request envelope to a JSON-compatible dict."""
+    kind = _REQUEST_KINDS.get(type(request))
+    if kind is None:
+        raise SerializationError(
+            "cannot serialize request of type %s" % type(request).__name__
+        )
+    if isinstance(request, CreateColumnRequest):
+        return _envelope(
+            kind,
+            column=request.column,
+            rows=_rows_to_list(request.rows),
+            row_ids=[int(i) for i in request.row_ids],
+            config=dict(request.config),
+        )
+    if isinstance(request, QueryRequest):
+        return _envelope(
+            kind, column=request.column, query=query_to_dict(request.query)
+        )
+    if isinstance(request, (FetchRequest, DeleteRequest)):
+        return _envelope(
+            kind,
+            column=request.column,
+            row_ids=[int(i) for i in request.row_ids],
+        )
+    if isinstance(request, InsertRequest):
+        return _envelope(
+            kind, column=request.column, rows=_rows_to_list(request.rows)
+        )
+    if isinstance(request, (MergeRequest, RotateBeginRequest)):
+        return _envelope(kind, column=request.column)
+    # RotateApplyRequest
+    return _envelope(
+        kind,
+        column=request.column,
+        rows=_rows_to_list(request.rows),
+        row_ids=[int(i) for i in request.row_ids],
+    )
+
+
+def request_from_dict(data: Dict[str, Any]):
+    """Reconstruct a request envelope; raises ``SerializationError`` on
+    any malformed payload (never ``KeyError``/``TypeError``)."""
+    kind = _check_envelope(data)
+    try:
+        column = data["column"]
+        if not isinstance(column, str) or not column:
+            raise SerializationError("column name must be a non-empty string")
+        if kind == "create_column":
+            return CreateColumnRequest(
+                column=column,
+                rows=_rows_from_list(data["rows"]),
+                row_ids=_ids_from_list(data["row_ids"]),
+                config=_config_from_dict(data.get("config", {})),
+            )
+        if kind == "query_request":
+            return QueryRequest(column=column, query=query_from_dict(data["query"]))
+        if kind == "fetch_request":
+            return FetchRequest(column=column, row_ids=_ids_from_list(data["row_ids"]))
+        if kind == "insert_request":
+            return InsertRequest(column=column, rows=_rows_from_list(data["rows"]))
+        if kind == "delete_request":
+            return DeleteRequest(column=column, row_ids=_ids_from_list(data["row_ids"]))
+        if kind == "merge_request":
+            return MergeRequest(column=column)
+        if kind == "rotate_begin":
+            return RotateBeginRequest(column=column)
+        if kind == "rotate_apply":
+            return RotateApplyRequest(
+                column=column,
+                rows=_rows_from_list(data["rows"]),
+                row_ids=_ids_from_list(data["row_ids"]),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed %s payload: %s" % (kind, exc)) from exc
+    raise SerializationError("unknown request kind: %r" % kind)
+
+
+def response_to_dict(response) -> Dict[str, Any]:
+    """Serialize any response envelope to a JSON-compatible dict."""
+    kind = _RESPONSE_KINDS.get(type(response))
+    if kind is None:
+        raise SerializationError(
+            "cannot serialize response of type %s" % type(response).__name__
+        )
+    if isinstance(response, CreateColumnResponse):
+        return _envelope(
+            kind, column=response.column, rows_stored=int(response.rows_stored)
+        )
+    if isinstance(response, (QueryResponse, RotateBeginResponse)):
+        return _envelope(kind, body=server_response_to_dict(response.response))
+    if isinstance(response, FetchResponse):
+        return _envelope(kind, rows=_rows_to_list(response.rows))
+    if isinstance(response, InsertResponse):
+        return _envelope(kind, row_ids=[int(i) for i in response.row_ids])
+    if isinstance(response, DeleteResponse):
+        return _envelope(kind, deleted=int(response.deleted))
+    if isinstance(response, MergeResponse):
+        return _envelope(kind, delta=int(response.delta))
+    if isinstance(response, RotateApplyResponse):
+        return _envelope(kind, rows_stored=int(response.rows_stored))
+    # ErrorResponse
+    return _envelope(kind, code=response.code, message=response.message)
+
+
+def response_from_dict(data: Dict[str, Any]):
+    """Reconstruct a response envelope; raises ``SerializationError``
+    on any malformed payload."""
+    kind = _check_envelope(data)
+    try:
+        if kind == "create_column_response":
+            return CreateColumnResponse(
+                column=str(data["column"]), rows_stored=int(data["rows_stored"])
+            )
+        if kind == "query_response":
+            return QueryResponse(response=server_response_from_dict(data["body"]))
+        if kind == "fetch_response":
+            return FetchResponse(rows=_rows_from_list(data["rows"]))
+        if kind == "insert_response":
+            return InsertResponse(row_ids=_ids_from_list(data["row_ids"]))
+        if kind == "delete_response":
+            return DeleteResponse(deleted=int(data["deleted"]))
+        if kind == "merge_response":
+            return MergeResponse(delta=int(data["delta"]))
+        if kind == "rotate_begin_response":
+            return RotateBeginResponse(
+                response=server_response_from_dict(data["body"])
+            )
+        if kind == "rotate_apply_response":
+            return RotateApplyResponse(rows_stored=int(data["rows_stored"]))
+        if kind == "error_response":
+            return ErrorResponse(
+                code=str(data["code"]), message=str(data["message"])
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed %s payload: %s" % (kind, exc)) from exc
+    raise SerializationError("unknown response kind: %r" % kind)
+
+
+# -- frames ---------------------------------------------------------------------
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Canonical frame bytes for one envelope dict.
+
+    Compact separators and sorted keys make the encoding a pure
+    function of the envelope's content, so identical messages produce
+    identical bytes on every transport.
+    """
+    try:
+        return json.dumps(
+            payload, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise SerializationError("unencodable frame: %s" % exc) from exc
+
+
+def decode_frame(frame: bytes) -> Dict[str, Any]:
+    """Parse frame bytes back into an envelope dict."""
+    try:
+        data = json.loads(frame.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SerializationError("invalid frame: %s" % exc) from exc
+    if not isinstance(data, dict):
+        raise SerializationError("frame must encode a JSON object")
+    return data

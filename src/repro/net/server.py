@@ -1,0 +1,126 @@
+"""TCP endpoint hosting a column catalog (``repro serve``).
+
+A :class:`CatalogTCPServer` accepts persistent connections, reads
+length-prefixed protocol frames, routes each through
+:meth:`~repro.net.catalog.ColumnCatalog.dispatch`, and writes the
+response frame back.  One thread per connection; column-level locking
+inside the catalog keeps concurrent sessions on different columns
+independent and requests on the same column serialized.
+
+Server-side failures never cross the wire as exceptions: malformed
+frames and engine errors are answered with typed error envelopes, and
+a connection that turns into garbage (bad length prefix, oversized
+frame) is simply closed.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from repro.errors import SerializationError
+from repro.net.catalog import ColumnCatalog
+from repro.net.protocol import (
+    ErrorResponse,
+    decode_frame,
+    encode_frame,
+    response_to_dict,
+)
+from repro.net.transport import LENGTH_PREFIX, MAX_FRAME_BYTES
+
+
+class _CatalogRequestHandler(socketserver.StreamRequestHandler):
+    """Frame loop for one client connection."""
+
+    def handle(self) -> None:
+        while True:
+            header = self.rfile.read(LENGTH_PREFIX.size)
+            if len(header) < LENGTH_PREFIX.size:
+                return  # client closed the connection
+            (length,) = LENGTH_PREFIX.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                return  # corrupt stream; drop the connection
+            payload = self.rfile.read(length)
+            if len(payload) < length:
+                return
+            try:
+                request = decode_frame(payload)
+            except SerializationError as exc:
+                response = response_to_dict(
+                    ErrorResponse(code="serialization", message=str(exc))
+                )
+            else:
+                response = self.server.catalog.dispatch(request)
+            frame = encode_frame(response)
+            try:
+                self.wfile.write(LENGTH_PREFIX.pack(len(frame)) + frame)
+                self.wfile.flush()
+            except OSError:
+                return  # client went away mid-response
+
+
+class CatalogTCPServer(socketserver.ThreadingTCPServer):
+    """Threaded TCP server in front of one :class:`ColumnCatalog`.
+
+    Args:
+        address: ``(host, port)``; port 0 picks an ephemeral port
+            (read it back from :attr:`server_address`).
+        catalog: the endpoint's column catalog; a fresh empty one is
+            created when omitted.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, catalog: ColumnCatalog = None) -> None:
+        self.catalog = catalog if catalog is not None else ColumnCatalog()
+        self._connections = set()
+        self._connections_lock = threading.Lock()
+        super().__init__(address, _CatalogRequestHandler)
+
+    def get_request(self):
+        request, client_address = super().get_request()
+        with self._connections_lock:
+            self._connections.add(request)
+        return request, client_address
+
+    def close_request(self, request) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().close_request(request)
+
+    def stop(self) -> None:
+        """Stop serving and drop every open connection.
+
+        Clients blocked on an exchange observe a closed socket and
+        raise :class:`~repro.errors.TransportError` instead of hanging
+        — the crash behaviour the fault-injection tests pin.
+        """
+        self.shutdown()
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            try:
+                connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                connection.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+        self.server_close()
+
+
+def serve(
+    catalog: ColumnCatalog = None, host: str = "127.0.0.1", port: int = 0
+) -> CatalogTCPServer:
+    """Bind a catalog endpoint; the caller drives ``serve_forever``.
+
+    Returns the bound server so callers can read the actual port
+    (``server.server_address``) before starting the accept loop —
+    typically on a background thread in tests, or foreground under the
+    ``repro serve`` CLI command.
+    """
+    return CatalogTCPServer((host, port), catalog)

@@ -1,0 +1,159 @@
+"""Pluggable transports carrying protocol frames between the parties.
+
+A transport moves opaque frame bytes (one encoded envelope) from the
+client to an endpoint and returns the response frame.  Two
+implementations cover the deployment spectrum:
+
+* :class:`LoopbackTransport` — in-process, near-zero overhead, the
+  default for a single-process session.  It still decodes every
+  request frame and re-encodes every response frame, so even loopback
+  traffic exercises the real wire format (tests pin loopback and TCP
+  frames byte-identical for the same workload).
+* :class:`TcpTransport` — length-prefixed frames over a TCP socket to
+  a :mod:`repro.net.server` endpoint (``repro serve``), with connect
+  and exchange timeouts.
+
+Every transport failure surfaces as a typed
+:class:`~repro.errors.TransportError` — a refused connection, a
+timeout, or a server that died mid-exchange — never a hang or a raw
+``OSError``.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from abc import ABC, abstractmethod
+
+from repro.errors import TransportError
+from repro.net.protocol import decode_frame, encode_frame
+
+#: Frame length prefix: 4-byte unsigned big-endian.
+LENGTH_PREFIX = struct.Struct(">I")
+
+#: Upper bound on a single frame; anything larger is a corrupt stream.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class Transport(ABC):
+    """One client's channel to a column-catalog endpoint."""
+
+    @abstractmethod
+    def exchange(self, frame: bytes) -> bytes:
+        """Deliver one request frame; return the response frame."""
+
+    def close(self) -> None:
+        """Release any underlying resources (idempotent)."""
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class LoopbackTransport(Transport):
+    """In-process transport over a local
+    :class:`~repro.net.catalog.ColumnCatalog`.
+
+    Both directions pass through the real frame codec: the catalog
+    dispatcher only ever sees decoded envelope dicts, exactly as it
+    would behind a socket.
+    """
+
+    def __init__(self, catalog) -> None:
+        self._catalog = catalog
+
+    @property
+    def catalog(self):
+        """The in-process endpoint this transport is looped onto."""
+        return self._catalog
+
+    def exchange(self, frame: bytes) -> bytes:
+        return encode_frame(self._catalog.dispatch(decode_frame(frame)))
+
+
+class TcpTransport(Transport):
+    """Length-prefixed JSON frames over one persistent TCP connection.
+
+    Args:
+        host, port: the ``repro serve`` endpoint address.
+        connect_timeout: seconds allowed for establishing the
+            connection (lazily, on first exchange).
+        timeout: per-exchange send/receive deadline in seconds.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        timeout: float = 30.0,
+    ) -> None:
+        self._address = (host, int(port))
+        self._connect_timeout = connect_timeout
+        self._timeout = timeout
+        self._sock: socket.socket = None
+
+    @property
+    def address(self):
+        """The ``(host, port)`` endpoint this transport connects to."""
+        return self._address
+
+    def _connection(self) -> socket.socket:
+        if self._sock is None:
+            try:
+                sock = socket.create_connection(
+                    self._address, timeout=self._connect_timeout
+                )
+            except OSError as exc:
+                raise TransportError(
+                    "cannot connect to %s:%d: %s" % (*self._address, exc)
+                ) from exc
+            sock.settimeout(self._timeout)
+            self._sock = sock
+        return self._sock
+
+    def exchange(self, frame: bytes) -> bytes:
+        sock = self._connection()
+        try:
+            sock.sendall(LENGTH_PREFIX.pack(len(frame)) + frame)
+            (length,) = LENGTH_PREFIX.unpack(self._recv_exact(sock, 4))
+            if length > MAX_FRAME_BYTES:
+                raise TransportError(
+                    "oversized response frame (%d bytes)" % length
+                )
+            return self._recv_exact(sock, length)
+        except TransportError:
+            self.close()
+            raise
+        except OSError as exc:
+            # Covers socket.timeout and connection resets alike; the
+            # connection state is unknown, so drop it.
+            self.close()
+            raise TransportError(
+                "exchange with %s:%d failed: %s" % (*self._address, exc)
+            ) from exc
+
+    @staticmethod
+    def _recv_exact(sock: socket.socket, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            chunk = sock.recv(remaining)
+            if not chunk:
+                raise TransportError(
+                    "connection closed mid-frame (%d of %d bytes missing)"
+                    % (remaining, count)
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best effort
+                pass
+            self._sock = None

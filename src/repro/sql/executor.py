@@ -16,7 +16,12 @@ split the paper cites:
 The same executor runs over :class:`repro.store.table.Table`
 (plaintext, cracked server-side per column) and
 :class:`repro.core.encrypted_table.OutsourcedTable` (everything in
-ciphertext).
+ciphertext).  Encrypted tables speak the :mod:`repro.net` wire
+protocol underneath — each of their columns is a named column at a
+catalog endpoint, addressed through a loopback or TCP transport — so
+the planner's server-side selects are real protocol round trips
+(``repro sql --connect HOST:PORT`` runs them against a remote
+``repro serve`` process).
 """
 
 from __future__ import annotations
@@ -57,6 +62,10 @@ class Catalog:
             return self._tables[name]
         except KeyError:
             raise QueryError("unknown table: %r" % name) from None
+
+    def table_names(self) -> List[str]:
+        """All registered table names, sorted."""
+        return sorted(self._tables)
 
 
 def execute_sql(catalog: Catalog, sql: str) -> Dict[str, np.ndarray]:

@@ -188,3 +188,71 @@ class TestProtocolWireFormat:
         }
         with pytest.raises(SerializationError):
             response_from_dict(bad)
+
+
+class TestMalformedProtocolPayloads:
+    """Every malformed wire payload fails as ``SerializationError`` —
+    ``KeyError`` / ``TypeError`` / ``ValueError`` never cross the seam."""
+
+    def test_response_non_numeric_row_ids(self):
+        from repro.core.client import TrustedClient
+        from repro.crypto.serialization import (
+            ciphertext_to_dict,
+            response_from_dict,
+        )
+
+        client = TrustedClient(seed=13)
+        bad = {
+            "kind": "response",
+            "version": 1,
+            "row_ids": ["zero"],
+            "rows": [ciphertext_to_dict(client.encryptor.encrypt_value(1))],
+        }
+        with pytest.raises(SerializationError):
+            response_from_dict(bad)
+
+    def test_response_missing_rows(self):
+        from repro.crypto.serialization import response_from_dict
+
+        with pytest.raises(SerializationError):
+            response_from_dict(
+                {"kind": "response", "version": 1, "row_ids": []}
+            )
+
+    def test_response_rows_not_a_list(self):
+        from repro.crypto.serialization import response_from_dict
+
+        with pytest.raises(SerializationError):
+            response_from_dict(
+                {"kind": "response", "version": 1, "row_ids": [], "rows": 7}
+            )
+
+    def test_query_non_iterable_pivots(self):
+        from repro.core.client import TrustedClient
+        from repro.crypto.serialization import query_from_dict, query_to_dict
+
+        client = TrustedClient(seed=13)
+        payload = query_to_dict(client.make_query(1, 5))
+        payload["pivots"] = 5
+        with pytest.raises(SerializationError):
+            query_from_dict(payload)
+
+    def test_query_truncated_bound(self):
+        from repro.core.client import TrustedClient
+        from repro.crypto.serialization import query_from_dict, query_to_dict
+
+        client = TrustedClient(seed=13)
+        payload = query_to_dict(client.make_query(1, 5))
+        del payload["low"]["ev"]
+        with pytest.raises(SerializationError):
+            query_from_dict(payload)
+
+    def test_query_non_numeric_ciphertext(self):
+        from repro.core.client import TrustedClient
+        from repro.crypto.serialization import query_from_dict, query_to_dict
+
+        client = TrustedClient(seed=13)
+        payload = query_to_dict(client.make_query(1, 5))
+        payload["low"]["ev"]["numerators"] = ["abc"]
+        with pytest.raises(SerializationError):
+            query_from_dict(payload)

@@ -1,0 +1,131 @@
+"""Unit tests for the server-side column catalog and dispatcher."""
+
+import pytest
+
+from repro.core.client import TrustedClient
+from repro.errors import QueryError, UpdateError
+from repro.net.catalog import ColumnCatalog
+from repro.net.protocol import (
+    PROTOCOL_VERSION,
+    MergeRequest,
+    QueryRequest,
+    request_to_dict,
+    response_from_dict,
+)
+from repro.obs import Observability
+
+
+@pytest.fixture()
+def client():
+    return TrustedClient(seed=61)
+
+
+@pytest.fixture()
+def loaded(client):
+    """A catalog with one column of [10, 20, 30, 40]."""
+    catalog = ColumnCatalog(obs=Observability())
+    rows, row_ids = client.encrypt_dataset([10, 20, 30, 40])
+    catalog.create_column("prices", rows, row_ids)
+    return catalog
+
+
+class TestRegistry:
+    def test_create_and_lookup(self, loaded):
+        assert loaded.column_names == ["prices"]
+        assert len(loaded) == 1
+        assert len(loaded.server("prices")) == 4
+
+    def test_duplicate_rejected(self, loaded, client):
+        rows, row_ids = client.encrypt_dataset([1])
+        with pytest.raises(UpdateError, match="already exists"):
+            loaded.create_column("prices", rows, row_ids)
+
+    def test_empty_name_rejected(self, loaded, client):
+        rows, row_ids = client.encrypt_dataset([1])
+        with pytest.raises(UpdateError):
+            loaded.create_column("", rows, row_ids)
+
+    def test_unknown_column(self, loaded):
+        with pytest.raises(QueryError, match="unknown column"):
+            loaded.server("volumes")
+        with pytest.raises(QueryError):
+            loaded.config("volumes")
+
+    def test_unknown_config_key_rejected(self, client):
+        catalog = ColumnCatalog()
+        rows, row_ids = client.encrypt_dataset([1, 2])
+        with pytest.raises(UpdateError, match="unknown column config"):
+            catalog.create_column("c", rows, row_ids, {"bogus": 1})
+
+    def test_config_preserved(self, client):
+        catalog = ColumnCatalog()
+        rows, row_ids = client.encrypt_dataset([1, 2])
+        catalog.create_column("c", rows, row_ids, {"min_piece_size": 4})
+        config = catalog.config("c")
+        assert config["min_piece_size"] == 4
+        assert config["engine"] == "adaptive"  # defaults filled in
+
+
+class TestDispatch:
+    def test_query_dispatch(self, loaded, client):
+        request = QueryRequest(column="prices", query=client.make_query(15, 35))
+        reply = loaded.dispatch(request_to_dict(request))
+        response = response_from_dict(reply)
+        values = sorted(
+            client.encryptor.decrypt_value(row) for row in response.response.rows
+        )
+        assert values == [20, 30]
+
+    def test_unknown_column_becomes_error_envelope(self, loaded):
+        reply = loaded.dispatch(
+            request_to_dict(MergeRequest(column="volumes"))
+        )
+        assert reply["kind"] == "error_response"
+        assert reply["code"] == "query"
+        assert "volumes" in reply["message"]
+
+    def test_malformed_request_becomes_error_envelope(self, loaded):
+        reply = loaded.dispatch(
+            {"kind": "query_request", "version": PROTOCOL_VERSION,
+             "column": "prices", "query": {"not": "a query"}}
+        )
+        assert reply["kind"] == "error_response"
+        assert reply["code"] == "serialization"
+
+    def test_wrong_version_becomes_error_envelope(self, loaded):
+        reply = loaded.dispatch(
+            {"kind": "merge_request", "version": 99, "column": "prices"}
+        )
+        assert reply["kind"] == "error_response"
+        assert reply["code"] == "serialization"
+
+    def test_dispatch_never_raises(self, loaded):
+        for garbage in ({}, {"kind": 7}, {"kind": "query_request"}):
+            reply = loaded.dispatch(garbage)
+            assert reply["kind"] == "error_response"
+
+
+class TestMetrics:
+    def test_request_and_error_counters(self, loaded):
+        metrics = loaded.obs.metrics
+        base = metrics.counter_value("net.requests")
+        loaded.dispatch(request_to_dict(MergeRequest(column="prices")))
+        loaded.dispatch(request_to_dict(MergeRequest(column="volumes")))
+        assert metrics.counter_value("net.requests") == base + 2
+        assert metrics.counter_value("net.errors") == 1
+
+    def test_columns_created_counter(self, client):
+        obs = Observability()
+        catalog = ColumnCatalog(obs=obs)
+        rows, row_ids = client.encrypt_dataset([1, 2])
+        catalog.create_column("a", rows, row_ids)
+        rows, row_ids = client.encrypt_dataset([3, 4])
+        catalog.create_column("b", rows, row_ids)
+        assert obs.metrics.counter_value("net.columns_created") == 2
+
+
+class TestAdopt:
+    def test_adopt_rejects_duplicates(self, loaded):
+        server = loaded.server("prices")
+        with pytest.raises(UpdateError):
+            loaded.adopt_column("prices", server, {})

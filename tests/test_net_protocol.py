@@ -1,0 +1,310 @@
+"""Unit tests for the wire-protocol envelopes and frame codec."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.client import TrustedClient
+from repro.core.server import ServerResponse
+from repro.crypto.serialization import ciphertext_to_dict
+from repro.errors import (
+    ProtocolError,
+    QueryError,
+    SerializationError,
+    TransportError,
+    UpdateError,
+)
+from repro.net.protocol import (
+    CONFIG_DEFAULTS,
+    PROTOCOL_VERSION,
+    CreateColumnRequest,
+    CreateColumnResponse,
+    DeleteRequest,
+    DeleteResponse,
+    ErrorResponse,
+    FetchRequest,
+    FetchResponse,
+    InsertRequest,
+    InsertResponse,
+    MergeRequest,
+    MergeResponse,
+    QueryRequest,
+    QueryResponse,
+    RotateApplyRequest,
+    RotateApplyResponse,
+    RotateBeginRequest,
+    RotateBeginResponse,
+    decode_frame,
+    encode_frame,
+    error_response_for,
+    raise_error_response,
+    request_from_dict,
+    request_to_dict,
+    response_from_dict,
+    response_to_dict,
+)
+
+
+@pytest.fixture(scope="module")
+def client():
+    return TrustedClient(seed=41)
+
+
+@pytest.fixture(scope="module")
+def rows(client):
+    encrypted, __ = client.encrypt_dataset([10, 20, 30])
+    return tuple(encrypted)
+
+
+def sample_requests(client, rows):
+    query = client.make_query(5, 25)
+    return [
+        CreateColumnRequest(
+            column="c", rows=rows, row_ids=(0, 1, 2),
+            config={"engine": "adaptive", "min_piece_size": 2},
+        ),
+        QueryRequest(column="c", query=query),
+        FetchRequest(column="c", row_ids=(2, 0)),
+        InsertRequest(column="c", rows=rows[:1]),
+        DeleteRequest(column="c", row_ids=(1,)),
+        MergeRequest(column="c"),
+        RotateBeginRequest(column="c"),
+        RotateApplyRequest(column="c", rows=rows, row_ids=(0, 1, 2)),
+    ]
+
+
+def sample_responses(rows):
+    body = ServerResponse(
+        row_ids=np.array([2, 0], dtype=np.int64), rows=list(rows[:2])
+    )
+    return [
+        CreateColumnResponse(column="c", rows_stored=3),
+        QueryResponse(response=body),
+        FetchResponse(rows=rows[:2]),
+        InsertResponse(row_ids=(3, 4)),
+        DeleteResponse(deleted=2),
+        MergeResponse(delta=1),
+        RotateBeginResponse(response=body),
+        RotateApplyResponse(rows_stored=3),
+        ErrorResponse(code="query", message="unknown column: 'x'"),
+    ]
+
+
+class TestRequestRoundTrip:
+    def test_every_request_kind(self, client, rows):
+        for request in sample_requests(client, rows):
+            data = request_to_dict(request)
+            assert data["version"] == PROTOCOL_VERSION
+            rebuilt = request_from_dict(decode_frame(encode_frame(data)))
+            assert type(rebuilt) is type(request)
+            assert rebuilt.column == request.column
+            data2 = request_to_dict(rebuilt)
+            assert encode_frame(data) == encode_frame(data2)
+
+    def test_query_request_preserves_bounds(self, client):
+        request = QueryRequest(column="c", query=client.make_query(5, 25))
+        rebuilt = request_from_dict(request_to_dict(request))
+        assert rebuilt.query.low is not None
+        assert rebuilt.query.high is not None
+        assert rebuilt.query.low_inclusive == request.query.low_inclusive
+
+    def test_unbounded_query_round_trips(self, client):
+        request = QueryRequest(
+            column="c", query=client.make_query(None, None)
+        )
+        rebuilt = request_from_dict(request_to_dict(request))
+        assert rebuilt.query.low is None and rebuilt.query.high is None
+
+
+class TestResponseRoundTrip:
+    def test_every_response_kind(self, rows):
+        for response in sample_responses(rows):
+            data = response_to_dict(response)
+            assert data["version"] == PROTOCOL_VERSION
+            rebuilt = response_from_dict(decode_frame(encode_frame(data)))
+            assert type(rebuilt) is type(response)
+            assert encode_frame(response_to_dict(rebuilt)) == encode_frame(data)
+
+    def test_query_response_preserves_ids(self, rows):
+        response = QueryResponse(
+            response=ServerResponse(
+                row_ids=np.array([4, 1], dtype=np.int64), rows=list(rows[:2])
+            )
+        )
+        rebuilt = response_from_dict(response_to_dict(response))
+        assert rebuilt.response.row_ids.tolist() == [4, 1]
+        assert len(rebuilt.response.rows) == 2
+
+
+class TestMalformedPayloads:
+    """Malformed inputs raise ``SerializationError``, never ``KeyError``
+    / ``TypeError`` leaking through the seam."""
+
+    def test_missing_column(self):
+        with pytest.raises(SerializationError):
+            request_from_dict(
+                {"kind": "merge_request", "version": PROTOCOL_VERSION}
+            )
+
+    def test_empty_column_name(self):
+        with pytest.raises(SerializationError):
+            request_from_dict(
+                {"kind": "merge_request", "version": PROTOCOL_VERSION,
+                 "column": ""}
+            )
+
+    def test_unknown_kind(self):
+        with pytest.raises(SerializationError):
+            request_from_dict(
+                {"kind": "drop_table", "version": PROTOCOL_VERSION,
+                 "column": "c"}
+            )
+        with pytest.raises(SerializationError):
+            response_from_dict(
+                {"kind": "nope_response", "version": PROTOCOL_VERSION}
+            )
+
+    def test_wrong_version(self):
+        with pytest.raises(SerializationError):
+            request_from_dict(
+                {"kind": "merge_request", "version": 99, "column": "c"}
+            )
+
+    def test_non_dict_envelope(self):
+        with pytest.raises(SerializationError):
+            request_from_dict([1, 2, 3])
+
+    def test_bound_ciphertext_rejected_as_row(self, client):
+        bound = client.make_query(5, 25).low
+        payload = {
+            "kind": "insert_request",
+            "version": PROTOCOL_VERSION,
+            "column": "c",
+            "rows": [ciphertext_to_dict(bound.eb)],
+        }
+        with pytest.raises(SerializationError):
+            request_from_dict(payload)
+
+    def test_unknown_config_keys(self, rows):
+        payload = request_to_dict(
+            CreateColumnRequest(
+                column="c", rows=rows, row_ids=(0, 1, 2), config={}
+            )
+        )
+        payload["config"] = {"compression": "zstd"}
+        with pytest.raises(SerializationError):
+            request_from_dict(payload)
+
+    def test_non_integer_row_ids(self):
+        with pytest.raises(SerializationError):
+            request_from_dict(
+                {"kind": "delete_request", "version": PROTOCOL_VERSION,
+                 "column": "c", "row_ids": ["zero"]}
+            )
+
+    def test_invalid_frame_bytes(self):
+        with pytest.raises(SerializationError):
+            decode_frame(b"\xff\xfe not json")
+        with pytest.raises(SerializationError):
+            decode_frame(b"[1, 2, 3]")
+
+    def test_unencodable_frame(self):
+        with pytest.raises(SerializationError):
+            encode_frame({"payload": object()})
+
+
+class TestDeterministicFrames:
+    def test_key_order_does_not_matter(self):
+        a = encode_frame({"kind": "merge_request", "version": 1, "column": "c"})
+        b = encode_frame({"column": "c", "version": 1, "kind": "merge_request"})
+        assert a == b
+
+    def test_no_whitespace(self):
+        frame = encode_frame({"kind": "x", "version": 1})
+        assert b" " not in frame
+
+    def test_same_request_same_bytes(self, client, rows):
+        request = InsertRequest(column="c", rows=rows)
+        assert encode_frame(request_to_dict(request)) == encode_frame(
+            request_to_dict(request)
+        )
+
+
+class TestErrorEnvelopes:
+    @pytest.mark.parametrize(
+        "exc, code",
+        [
+            (QueryError("q"), "query"),
+            (UpdateError("u"), "update"),
+            (SerializationError("s"), "serialization"),
+            (TransportError("t"), "transport"),
+            (ProtocolError("p"), "protocol"),
+        ],
+    )
+    def test_exception_to_code(self, exc, code):
+        assert error_response_for(exc).code == code
+
+    def test_transport_error_beats_protocol(self):
+        # TransportError subclasses ProtocolError; the specific code wins.
+        assert error_response_for(TransportError("boom")).code == "transport"
+
+    def test_raise_error_response_types(self):
+        with pytest.raises(QueryError, match="unknown column"):
+            raise_error_response(
+                ErrorResponse(code="query", message="unknown column: 'x'")
+            )
+        with pytest.raises(UpdateError):
+            raise_error_response(ErrorResponse(code="update", message="no"))
+
+    def test_unknown_code_degrades_to_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            raise_error_response(ErrorResponse(code="future", message="?"))
+
+    def test_foreign_exception_maps_to_internal(self):
+        assert error_response_for(RuntimeError("boom")).code == "internal"
+
+
+class TestSizeEstimates:
+    """``size_bytes`` is a compact-binary estimate; the JSON wire
+    encoding costs a documented factor more (decimal digits plus field
+    names).  The contract pinned here: actual encoded length stays
+    within 2x-6x of the estimate, for ciphertexts and bounds alike."""
+
+    LOW, HIGH = 2.0, 6.0
+
+    def test_value_ciphertext_estimate(self, client):
+        for value in (0, 1, -5, 123456, 2 ** 31 - 1, -(2 ** 31)):
+            ct = client.encryptor.encrypt_value(value)
+            wire = len(encode_frame(ciphertext_to_dict(ct)))
+            assert self.LOW <= wire / ct.size_bytes <= self.HIGH
+
+    def test_encrypted_bound_estimate(self, client):
+        query = client.make_query(10, 2 ** 30)
+        for bound in (query.low, query.high):
+            wire = len(encode_frame(ciphertext_to_dict(bound.eb))) + len(
+                encode_frame(ciphertext_to_dict(bound.ev))
+            )
+            assert self.LOW <= wire / bound.size_bytes <= self.HIGH
+
+    def test_server_response_estimate(self, client, rows):
+        body = ServerResponse(
+            row_ids=np.arange(len(rows), dtype=np.int64), rows=list(rows)
+        )
+        wire = len(encode_frame(response_to_dict(QueryResponse(body))))
+        assert self.LOW <= wire / body.size_bytes <= self.HIGH
+
+    def test_config_defaults_match_server_signature(self):
+        from inspect import signature
+
+        from repro.core.server import SecureServer
+
+        params = signature(SecureServer.__init__).parameters
+        for name, default in CONFIG_DEFAULTS.items():
+            assert params[name].default == default
+
+
+def test_frame_json_round_trip():
+    payload = {"kind": "merge_request", "version": 1, "column": "c"}
+    assert decode_frame(encode_frame(payload)) == payload
+    assert json.loads(encode_frame(payload).decode()) == payload

@@ -143,3 +143,135 @@ class TestKeyRotation:
         expected = sorted(v for v in VALUES[:80] if 0 <= v <= 150)
         assert sorted(result.values.tolist()) == expected
         assert db.client.ambiguity
+
+
+class TestSnapshotVersioning:
+    """Version-2 snapshots carry ``bytes_shipped`` and
+    ``record_stats``; version-1 snapshots restore with the historical
+    defaults (zero bytes shipped, stats recording on)."""
+
+    def test_bytes_shipped_survives(self):
+        db = warmed_db()
+        assert db.server.bytes_shipped > 0
+        restored = restore_server(snapshot_server(db.server))
+        assert restored.bytes_shipped == db.server.bytes_shipped
+
+    def test_record_stats_survives(self):
+        db = OutsourcedDatabase(VALUES[:40], seed=18, record_stats=False)
+        db.query(0, 100)
+        assert not db.server.record_stats
+        restored = restore_server(snapshot_server(db.server))
+        assert not restored.record_stats
+        restored.execute(db.client.make_query(0, 50))
+        assert restored.stats_log == []
+
+    def test_version_1_snapshot_still_restores(self):
+        db = warmed_db()
+        snapshot = snapshot_server(db.server)
+        # Reconstruct what a version-1 writer produced.
+        del snapshot["bytes_shipped"]
+        del snapshot["record_stats"]
+        snapshot["version"] = 1
+        restored = restore_server(snapshot)
+        assert restored.bytes_shipped == 0
+        assert restored.record_stats
+        query = db.client.make_query(50, 120)
+        assert sorted(map(int, restored.execute(query).row_ids)) == sorted(
+            map(int, db.server.execute(db.client.make_query(50, 120)).row_ids)
+        )
+
+    def test_current_version_is_2(self):
+        from repro.core.persistence import SNAPSHOT_VERSION
+
+        db = warmed_db()
+        assert SNAPSHOT_VERSION == 2
+        assert snapshot_server(db.server)["version"] == 2
+
+
+class TestCatalogSnapshot:
+    def make_catalog(self):
+        from repro.core.client import TrustedClient
+        from repro.net.catalog import ColumnCatalog
+
+        client = TrustedClient(seed=19)
+        catalog = ColumnCatalog()
+        for name, values in (("a", [5, 1, 9, 3]), ("b", [20, 40, 60])):
+            rows, row_ids = client.encrypt_dataset(values)
+            catalog.create_column(name, rows, row_ids,
+                                  {"min_piece_size": 2} if name == "a" else None)
+        return client, catalog
+
+    def test_round_trip_preserves_columns_and_configs(self):
+        from repro.core.persistence import restore_catalog, snapshot_catalog
+
+        client, catalog = self.make_catalog()
+        catalog.server("a").execute(client.make_query(2, 8))
+        restored = restore_catalog(json.loads(json.dumps(
+            snapshot_catalog(catalog))))
+        assert restored.column_names == ["a", "b"]
+        assert restored.config("a")["min_piece_size"] == 2
+        query = client.make_query(2, 8)
+        assert sorted(map(int, restored.server("a").execute(query).row_ids)) \
+            == sorted(map(int,
+                          catalog.server("a").execute(
+                              client.make_query(2, 8)).row_ids))
+
+    def test_restored_catalog_serves_dispatch(self):
+        from repro.core.persistence import restore_catalog, snapshot_catalog
+        from repro.net.protocol import (
+            QueryRequest,
+            request_to_dict,
+            response_from_dict,
+        )
+
+        client, catalog = self.make_catalog()
+        restored = restore_catalog(snapshot_catalog(catalog))
+        reply = restored.dispatch(request_to_dict(
+            QueryRequest(column="b", query=client.make_query(30, 50))))
+        response = response_from_dict(reply)
+        values = [client.encryptor.decrypt_value(row)
+                  for row in response.response.rows]
+        assert values == [40]
+
+    def test_wrong_kind_rejected(self):
+        from repro.core.persistence import restore_catalog
+
+        with pytest.raises(SerializationError):
+            restore_catalog({"kind": "secure_server", "version": 1})
+
+    def test_malformed_columns_rejected(self):
+        from repro.core.persistence import restore_catalog
+
+        with pytest.raises(SerializationError):
+            restore_catalog(
+                {"kind": "column_catalog", "version": 1, "columns": {"a": {}}}
+            )
+
+
+class TestSessionServerRestore:
+    """The documented restore idiom: ``db.server = restore_server(...)``."""
+
+    def test_assigning_restored_server_keeps_index_and_results(self):
+        from repro.core.persistence import restore_server, snapshot_server
+        from repro.core.session import OutsourcedDatabase
+
+        db = OutsourcedDatabase([13, 16, 4, 9, 2, 12, 7, 1], seed=42)
+        db.query(4, 12)
+        blob = json.dumps(snapshot_server(db.server))
+        db.server = restore_server(json.loads(blob))
+        result = db.query(4, 12)
+        assert sorted(result.values) == [4, 7, 9, 12]
+
+    def test_assignment_refused_over_remote_transport(self):
+        from repro.core.server import SecureServer
+        from repro.core.session import OutsourcedDatabase
+        from repro.errors import ProtocolError
+        from repro.net.catalog import ColumnCatalog
+        from repro.net.transport import LoopbackTransport
+
+        shared = ColumnCatalog()
+        db = OutsourcedDatabase(
+            [3, 1, 2], seed=7, transport=LoopbackTransport(shared)
+        )
+        with pytest.raises(ProtocolError):
+            db.server = SecureServer.__new__(SecureServer)
