@@ -103,6 +103,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--connect", metavar="HOST:PORT",
         help="host encrypted tables on a running `repro serve` endpoint",
     )
+    sql.add_argument(
+        "--codec", choices=("auto", "json", "binary"), default="auto",
+        help="wire frame codec for encrypted tables",
+    )
     sql.add_argument("statement", help="the SELECT statement")
 
     serve = commands.add_parser(
@@ -202,6 +206,16 @@ def _add_workload_args(parser) -> None:
         help="column name at the endpoint (sessions sharing a server "
              "must pick distinct names)",
     )
+    parser.add_argument(
+        "--codec", choices=("auto", "json", "binary"), default="auto",
+        help="wire frame codec (auto negotiates binary when the "
+             "endpoint supports it)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=1, metavar="N",
+        help="pipeline trace queries N at a time in one batched round "
+             "trip each (--workload only; default 1 = unbatched)",
+    )
 
 
 def _make_transport(args):
@@ -224,6 +238,7 @@ def _build_db(args, obs=None) -> OutsourcedDatabase:
         values, ambiguity=args.ambiguity, engine=args.engine, seed=args.seed,
         obs=obs, transport=transport,
         column=getattr(args, "column", "values"),
+        codec=getattr(args, "codec", "auto"),
     )
     where = " to %s" % args.connect if getattr(args, "connect", None) else ""
     print("outsourced %d values from %s%s" % (len(values), args.file, where))
@@ -249,14 +264,22 @@ def _execute_workload(db: OutsourcedDatabase, args, verbose: bool = True) -> int
         from repro.workloads.trace import load_workload
 
         queries = load_workload(args.workload)
+        batch = max(1, int(getattr(args, "batch", 1) or 1))
         tick = time.perf_counter()
         total_rows = 0
-        for trace_query in queries:
-            total_rows += len(db.query(*trace_query.as_args()).values)
+        if batch > 1:
+            for start in range(0, len(queries), batch):
+                chunk = queries[start:start + batch]
+                for result in db.query_many([q.as_args() for q in chunk]):
+                    total_rows += len(result.values)
+        else:
+            for trace_query in queries:
+                total_rows += len(db.query(*trace_query.as_args()).values)
         executed += len(queries)
+        batched = " in batches of %d" % batch if batch > 1 else ""
         print(
-            "replayed %d-query trace in %.3fs (%d rows returned)"
-            % (len(queries), time.perf_counter() - tick, total_rows)
+            "replayed %d-query trace%s in %.3fs (%d rows returned)"
+            % (len(queries), batched, time.perf_counter() - tick, total_rows)
         )
     if not executed:
         print("no queries given; use --range LOW HIGH, --point VALUE, "
@@ -322,6 +345,7 @@ def _run_sql(args) -> int:
                 OutsourcedTable(
                     columns, ambiguity=args.ambiguity, seed=args.seed,
                     transport=transport, namespace="%s." % name,
+                    codec=args.codec,
                 ),
             )
     out = execute_sql(catalog, args.statement)

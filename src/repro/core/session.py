@@ -63,6 +63,10 @@ class OutsourcedDatabase:
         column: the name this session's column is registered under at
             the endpoint (sessions sharing one endpoint pick distinct
             names).
+        codec: wire frame codec — ``"auto"`` (default) negotiates the
+            compact binary codec with the endpoint and falls back to
+            JSON against old peers; ``"json"`` / ``"binary"`` force
+            one.
         min_piece_size / use_three_way / use_paper_tree_algorithms /
             record_stats: forwarded to the server engine.
     """
@@ -86,6 +90,7 @@ class OutsourcedDatabase:
         obs: Observability = None,
         transport: Transport = None,
         column: str = "values",
+        codec: str = "auto",
     ) -> None:
         values = [int(v) for v in values]
         if jitter_pivots and engine != "adaptive":
@@ -126,7 +131,7 @@ class OutsourcedDatabase:
             self._catalog = None
         self._transport = transport
         self._column_name = column
-        self._remote = RemoteColumn(transport, column, obs=self._obs)
+        self._remote = RemoteColumn(transport, column, obs=self._obs, codec=codec)
         self._remote.create(rows, row_ids, self._server_config)
         self._jitter_pivots = int(jitter_pivots)
         if pivot_domain is None and values:
@@ -241,6 +246,48 @@ class OutsourcedDatabase:
             self._decrypt_seconds.add(result.decrypt_seconds)
         self.client_stats.append(result)
         return result
+
+    def query_many(self, specs: Sequence) -> List[ClientResult]:
+        """Run many range queries in one pipelined round trip.
+
+        ``specs`` is a sequence of ``(low, high)`` or ``(low, high,
+        low_inclusive, high_inclusive)`` tuples — or objects with an
+        ``as_args()`` method, like the workload generators'
+        ``RangeQuery``.  All queries ship in a single
+        ``batch_request`` frame; the server executes them in order
+        under the column lock, so results are identical to issuing
+        them sequentially, at a fraction of the round trips.  Counts as
+        one round trip (one frame each way).
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        with self._obs.span("session-query-many", queries=len(specs)):
+            messages = []
+            for spec in specs:
+                args = spec.as_args() if hasattr(spec, "as_args") else tuple(spec)
+                if not 2 <= len(args) <= 4:
+                    raise QueryError(
+                        "query spec must be (low, high[, low_inclusive"
+                        "[, high_inclusive]]): %r" % (spec,)
+                    )
+                messages.append(
+                    self.client.make_query(*args, pivots=self._draw_pivots())
+                )
+            responses = self._remote.query_many(messages)
+            self._round_trips.add(1)
+            self._account_exchange()
+            results = []
+            for response in responses:
+                result = self.client.decrypt_results(
+                    response.row_ids,
+                    response.rows,
+                    id_mapper=self._map_physical_id,
+                )
+                self._decrypt_seconds.add(result.decrypt_seconds)
+                results.append(result)
+        self.client_stats.extend(results)
+        return results
 
     def query_point(self, value: int) -> ClientResult:
         """Run one equality query end to end."""

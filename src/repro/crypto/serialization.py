@@ -223,7 +223,9 @@ def response_from_dict(data: Dict[str, Any]):
             row_ids=np.array([int(i) for i in data["row_ids"]], dtype=np.int64),
             rows=rows,
         )
-    except (KeyError, TypeError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError, OverflowError) as exc:
+        # OverflowError: a fuzzed row id exceeding int64 must surface as
+        # a typed serialization failure, not a raw numpy error.
         raise SerializationError(
             "malformed response payload: %s" % exc
         ) from exc

@@ -6,8 +6,11 @@ mechanical.  It has three layers:
 
 * :mod:`repro.net.protocol` — serializable request/response envelopes
   (query, insert, delete, merge, key-rotation begin/apply, column
-  upload, tuple-reconstruction fetch) plus a versioned error envelope,
-  and the deterministic frame codec.
+  upload, tuple-reconstruction fetch, codec-negotiation hello, and the
+  pipelined ``batch_request``/``batch_response`` pair) plus a
+  versioned error envelope, and two deterministic frame codecs: JSON
+  and the compact binary :mod:`repro.net.binframe` format
+  (auto-detected on decode, negotiated via hello).
 * :mod:`repro.net.transport` — how frames move:
   :class:`LoopbackTransport` (in-process default; still encodes and
   decodes every message) and :class:`TcpTransport` (length-prefixed
@@ -25,13 +28,24 @@ documented in ``docs/protocol.md``.
 
 from __future__ import annotations
 
+from repro.net.binframe import (
+    decode_binary_frame,
+    encode_binary_frame,
+    is_binary_frame,
+)
 from repro.net.catalog import ColumnCatalog
 from repro.net.client import RemoteColumn
 from repro.net.protocol import (
+    CODECS,
     PROTOCOL_VERSION,
+    BatchRequest,
+    BatchResponse,
     ErrorResponse,
+    HelloRequest,
+    HelloResponse,
     decode_frame,
     encode_frame,
+    frame_codec,
     request_from_dict,
     request_to_dict,
     response_from_dict,
@@ -45,16 +59,25 @@ from repro.net.transport import (
 )
 
 __all__ = [
+    "BatchRequest",
+    "BatchResponse",
+    "CODECS",
     "CatalogTCPServer",
     "ColumnCatalog",
     "ErrorResponse",
+    "HelloRequest",
+    "HelloResponse",
     "LoopbackTransport",
     "PROTOCOL_VERSION",
     "RemoteColumn",
     "TcpTransport",
     "Transport",
+    "decode_binary_frame",
     "decode_frame",
+    "encode_binary_frame",
     "encode_frame",
+    "frame_codec",
+    "is_binary_frame",
     "request_from_dict",
     "request_to_dict",
     "response_from_dict",

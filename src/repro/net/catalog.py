@@ -29,7 +29,11 @@ from repro.core.query import EncryptedQuery
 from repro.core.server import SecureServer
 from repro.errors import ProtocolError, QueryError, ReproError, UpdateError
 from repro.net.protocol import (
+    CODECS,
     CONFIG_DEFAULTS,
+    PROTOCOL_VERSION,
+    BatchRequest,
+    BatchResponse,
     CreateColumnRequest,
     CreateColumnResponse,
     DeleteRequest,
@@ -37,6 +41,8 @@ from repro.net.protocol import (
     ErrorResponse,
     FetchRequest,
     FetchResponse,
+    HelloRequest,
+    HelloResponse,
     InsertRequest,
     InsertResponse,
     MergeRequest,
@@ -183,27 +189,99 @@ class ColumnCatalog:
         """One request envelope dict in, one response envelope dict out.
 
         Never raises for malformed or failing requests: every error is
-        returned as a typed :class:`ErrorResponse` envelope.
+        returned as a typed :class:`ErrorResponse` envelope.  A
+        ``batch_request`` envelope is unpacked here, at the dict level,
+        so a malformed sub-request fails *its slot only* — the valid
+        sub-requests around it still execute.
         """
         metrics = self._obs.metrics
         metrics.add("net.requests")
         kind = request_dict.get("kind") if isinstance(request_dict, dict) else None
         with self._obs.span("rpc-serve", kind=kind):
-            try:
-                response = self.handle(request_from_dict(request_dict))
-            except ReproError as exc:
-                metrics.add("net.errors")
-                response = error_response_for(exc)
-            except Exception as exc:  # defensive: a serving thread must survive
+            if kind == "batch_request":
+                return self._serve_batch(request_dict)
+            return response_to_dict(self._serve_one(request_dict))
+
+    def _serve_one(self, request_dict: Dict[str, Any]):
+        """Decode and execute one envelope dict; errors become typed
+        error envelopes, never exceptions."""
+        metrics = self._obs.metrics
+        try:
+            return self.handle(request_from_dict(request_dict))
+        except ReproError as exc:
+            metrics.add("net.errors")
+            return error_response_for(exc)
+        except Exception as exc:  # defensive: a serving thread must survive
+            metrics.add("net.errors")
+            return ErrorResponse(
+                code="internal",
+                message="%s: %s" % (type(exc).__name__, exc),
+            )
+
+    def _serve_batch(self, request_dict: Dict[str, Any]) -> Dict[str, Any]:
+        """Execute every sub-envelope of a batch, isolating failures.
+
+        Sub-requests run sequentially under their own per-column locks
+        (two sub-requests on different columns still never interleave
+        with other sessions' traffic on those columns); each failure is
+        confined to its slot as an error envelope.
+        """
+        metrics = self._obs.metrics
+        if request_dict.get("version") != PROTOCOL_VERSION:
+            metrics.add("net.errors")
+            return response_to_dict(
+                ErrorResponse(
+                    code="serialization",
+                    message="unsupported protocol version: %r"
+                    % (request_dict.get("version"),),
+                )
+            )
+        items = request_dict.get("requests")
+        if not isinstance(items, list):
+            metrics.add("net.errors")
+            return response_to_dict(
+                ErrorResponse(
+                    code="serialization",
+                    message="batch requests must be a list",
+                )
+            )
+        responses: List[Dict[str, Any]] = []
+        for item in items:
+            if isinstance(item, dict) and item.get("kind") == "batch_request":
                 metrics.add("net.errors")
                 response = ErrorResponse(
-                    code="internal",
-                    message="%s: %s" % (type(exc).__name__, exc),
+                    code="serialization", message="batch requests cannot nest"
                 )
-        return response_to_dict(response)
+                responses.append(response_to_dict(response))
+                continue
+            responses.append(response_to_dict(self._serve_one(item)))
+        metrics.add("net.batches")
+        metrics.observe("net.batch_size", len(items))
+        return {
+            "kind": "batch_response",
+            "version": PROTOCOL_VERSION,
+            "responses": responses,
+        }
 
     def handle(self, request):
         """Execute one decoded request envelope against its column."""
+        if isinstance(request, HelloRequest):
+            return HelloResponse(codecs=CODECS)
+        if isinstance(request, BatchRequest):
+            responses = []
+            for sub in request.requests:
+                try:
+                    responses.append(self.handle(sub))
+                except ReproError as exc:
+                    responses.append(error_response_for(exc))
+                except Exception as exc:  # same isolation as dispatch
+                    responses.append(
+                        ErrorResponse(
+                            code="internal",
+                            message="%s: %s" % (type(exc).__name__, exc),
+                        )
+                    )
+            return BatchResponse(responses=tuple(responses))
         if isinstance(request, CreateColumnRequest):
             server = self.create_column(
                 request.column, request.rows, request.row_ids, request.config

@@ -11,6 +11,14 @@ every exchanged byte, and sessions read :attr:`last_sent_bytes` /
 
 Spans: ``transport-encode`` and ``transport-decode`` time the codec,
 ``rpc`` times the round trip itself.
+
+Codec negotiation: with the default ``codec="auto"`` the handle's
+first exchange is a JSON-framed ``hello`` listing the codecs this
+client speaks; a server answering with ``binary`` upgrades every
+subsequent frame to the compact :mod:`repro.net.binframe` codec, while
+an old JSON-only peer (which answers hello with an error envelope)
+leaves the handle on JSON.  The outcome is cached on the transport, so
+many handles sharing one connection negotiate once.
 """
 
 from __future__ import annotations
@@ -19,8 +27,11 @@ from typing import Any, Dict, List, Sequence
 
 from repro.core.query import EncryptedQuery
 from repro.core.server import ServerResponse
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ReproError, TransportError
 from repro.net.protocol import (
+    CODECS,
+    BatchRequest,
+    BatchResponse,
     CreateColumnRequest,
     CreateColumnResponse,
     DeleteRequest,
@@ -28,6 +39,8 @@ from repro.net.protocol import (
     ErrorResponse,
     FetchRequest,
     FetchResponse,
+    HelloRequest,
+    HelloResponse,
     InsertRequest,
     InsertResponse,
     MergeRequest,
@@ -56,11 +69,20 @@ class RemoteColumn:
         column: the column name requests address.
         obs: observability bundle the ``net.*`` counters and
             transport spans report into.
+        codec: ``"auto"`` (default) negotiates the preferred frame
+            codec with a hello exchange; ``"json"`` / ``"binary"``
+            force one without negotiating.
     """
 
     def __init__(
-        self, transport: Transport, column: str, obs: Observability = None
+        self,
+        transport: Transport,
+        column: str,
+        obs: Observability = None,
+        codec: str = "auto",
     ) -> None:
+        if codec not in ("auto",) + CODECS:
+            raise ProtocolError("unknown frame codec: %r" % (codec,))
         self._transport = transport
         self.column = column
         self._obs = obs if obs is not None else Observability()
@@ -68,6 +90,9 @@ class RemoteColumn:
         self._net_sent = metrics.counter("net.bytes_sent")
         self._net_received = metrics.counter("net.bytes_received")
         self._net_round_trips = metrics.counter("net.round_trips")
+        self._net_frames_binary = metrics.counter("net.frames_binary")
+        self._codec = "json" if codec == "auto" else codec
+        self._negotiated = codec != "auto"
         #: Frame lengths of the most recent exchange (request, response).
         self.last_sent_bytes = 0
         self.last_received_bytes = 0
@@ -77,11 +102,63 @@ class RemoteColumn:
         """The underlying transport (shared across columns)."""
         return self._transport
 
+    @property
+    def codec(self) -> str:
+        """The frame codec in effect (post-negotiation for ``auto``)."""
+        return self._codec
+
+    def _ensure_codec(self) -> None:
+        """Resolve ``codec="auto"`` with a one-time hello exchange.
+
+        A peer that answers hello with ``binary`` upgrades the handle;
+        a peer that rejects the hello envelope (an old JSON-only
+        server) leaves it on JSON.  Transport failures propagate — the
+        peer is unreachable, not merely old.
+        """
+        if self._negotiated:
+            return
+        self._negotiated = True
+        cached = getattr(self._transport, "negotiated_codec", None)
+        if cached is not None:
+            self._codec = cached
+            return
+        try:
+            response = self._exchange(HelloRequest(codecs=CODECS))
+            if isinstance(response, HelloResponse):
+                offered = set(response.codecs)
+                self._codec = next(
+                    (c for c in CODECS if c in offered), "json"
+                )
+        except TransportError:
+            self._negotiated = False
+            raise
+        except ReproError:
+            self._codec = "json"  # peer predates the hello envelope
+        self._transport.negotiated_codec = self._codec
+
     def call(self, request):
         """One full round trip: encode, exchange, decode, raise errors."""
+        self._ensure_codec()
+        return self._exchange(request)
+
+    def call_many(self, requests: Sequence) -> List:
+        """Pipeline many sub-requests into one batched round trip.
+
+        Sub-requests may address other columns (each envelope names its
+        own).  Returns the per-item response envelopes in request
+        order; failed items come back as :class:`ErrorResponse` objects
+        for the caller to raise or tolerate — one bad item never
+        poisons the batch.
+        """
+        response = self.call(BatchRequest(requests=tuple(requests)))
+        return list(self._expect(response, BatchResponse).responses)
+
+    def _exchange(self, request):
         kind = type(request).__name__
         with self._obs.span("transport-encode", kind=kind):
-            frame = encode_frame(request_to_dict(request))
+            frame = encode_frame(request_to_dict(request), codec=self._codec)
+        if self._codec == "binary":
+            self._net_frames_binary.add(1)
         with self._obs.span("rpc", kind=kind, column=self.column):
             reply = self._transport.exchange(frame)
         with self._obs.span("transport-decode", kind=kind):
@@ -126,6 +203,23 @@ class RemoteColumn:
         """Run one encrypted query; returns the qualifying rows."""
         response = self.call(QueryRequest(column=self.column, query=query))
         return self._expect(response, QueryResponse).response
+
+    def query_many(
+        self, queries: Sequence[EncryptedQuery]
+    ) -> List[ServerResponse]:
+        """Run many encrypted queries in one pipelined round trip.
+
+        The server executes them in order under the column lock; the
+        first failed sub-query re-raises its typed error here.
+        """
+        out: List[ServerResponse] = []
+        for response in self.call_many(
+            [QueryRequest(column=self.column, query=q) for q in queries]
+        ):
+            if isinstance(response, ErrorResponse):
+                raise_error_response(response)
+            out.append(self._expect(response, QueryResponse).response)
+        return out
 
     def fetch(self, row_ids: Sequence[int]) -> List:
         """Materialise rows by physical id (tuple reconstruction)."""

@@ -11,11 +11,24 @@ dictionaries built on the :mod:`repro.crypto.serialization` codecs
 ``version`` so future layouts can coexist — including a versioned
 :class:`ErrorResponse` that carries typed failures across the wire.
 
-A *frame* is the canonical encoding of one envelope: compact UTF-8
-JSON with sorted keys.  Frames are deterministic — the same envelope
-always encodes to the same bytes — so the loopback and TCP transports
-produce byte-identical traffic for the same workload (pinned by
-tests), and measured frame lengths are meaningful transfer accounting.
+A *frame* is the canonical encoding of one envelope.  Two codecs
+exist: ``"json"`` (compact UTF-8 JSON with sorted keys — the v1 wire
+format, always understood) and ``"binary"`` (the compact
+:mod:`repro.net.binframe` codec: magic + version + codec-id header,
+varint lengths, big-int numerators as sign + magnitude bytes).  Both
+are deterministic — the same envelope always encodes to the same bytes
+— so the loopback and TCP transports produce byte-identical traffic
+for the same workload (pinned by tests), and measured frame lengths
+are meaningful transfer accounting.  :func:`decode_frame` auto-detects
+the codec by the first byte, and peers negotiate the preferred codec
+with a ``hello`` envelope (old JSON-only peers answer it with an error
+envelope, which downgrades the client to JSON).
+
+Pipelining: a ``batch_request`` envelope carries N independent
+sub-request envelopes in one frame; the catalog answers with a
+``batch_response`` carrying one response envelope per sub-request —
+error envelopes included, so one failing sub-request never poisons its
+batch.
 
 The column addressed by a request is named: one endpoint (a
 :class:`~repro.net.catalog.ColumnCatalog`) hosts many columns, each
@@ -48,8 +61,17 @@ from repro.errors import (
     UpdateError,
 )
 
+from repro.net.binframe import (
+    decode_binary_frame,
+    encode_binary_frame,
+    is_binary_frame,
+)
+
 #: Version tag carried by every envelope on the wire.
 PROTOCOL_VERSION = 1
+
+#: Frame codecs this peer can speak, preference-ordered for hello.
+CODECS: Tuple[str, ...] = ("binary", "json")
 
 #: Server-engine configuration keys a ``create_column`` request may
 #: carry; the defaults mirror :class:`~repro.core.server.SecureServer`.
@@ -64,6 +86,25 @@ CONFIG_DEFAULTS: Dict[str, Any] = {
 
 
 # -- request envelopes ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HelloRequest:
+    """Codec negotiation: the codecs the client can speak, in
+    preference order.  The one column-less request envelope — it
+    addresses the endpoint, not a column."""
+
+    codecs: Tuple[str, ...] = CODECS
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """N independent sub-requests pipelined into one frame.
+
+    Sub-requests may address different columns; batches never nest.
+    """
+
+    requests: Tuple[Any, ...]
 
 
 @dataclass(frozen=True)
@@ -137,6 +178,25 @@ class RotateApplyRequest:
 
 
 # -- response envelopes ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HelloResponse:
+    """Codecs the server supports; the client upgrades to the first
+    one both sides share (preferring its own order)."""
+
+    codecs: Tuple[str, ...] = CODECS
+
+
+@dataclass(frozen=True)
+class BatchResponse:
+    """One response envelope per sub-request, in request order.
+
+    Failed sub-requests appear as :class:`ErrorResponse` items; the
+    others carry their normal typed responses.
+    """
+
+    responses: Tuple[Any, ...]
 
 
 @dataclass(frozen=True)
@@ -248,6 +308,8 @@ def raise_error_response(error: ErrorResponse) -> None:
 # -- dict codecs ----------------------------------------------------------------
 
 _REQUEST_KINDS = {
+    HelloRequest: "hello",
+    BatchRequest: "batch_request",
     CreateColumnRequest: "create_column",
     QueryRequest: "query_request",
     FetchRequest: "fetch_request",
@@ -259,6 +321,8 @@ _REQUEST_KINDS = {
 }
 
 _RESPONSE_KINDS = {
+    HelloResponse: "hello_response",
+    BatchResponse: "batch_response",
     CreateColumnResponse: "create_column_response",
     QueryResponse: "query_response",
     FetchResponse: "fetch_response",
@@ -309,6 +373,14 @@ def _ids_from_list(items) -> Tuple[int, ...]:
     return tuple(int(i) for i in items)
 
 
+def _codecs_from_list(items) -> Tuple[str, ...]:
+    if not isinstance(items, list) or not all(
+        isinstance(item, str) for item in items
+    ):
+        raise SerializationError("codecs must be a list of strings")
+    return tuple(items)
+
+
 def _config_from_dict(data) -> Dict[str, Any]:
     if not isinstance(data, dict):
         raise SerializationError("column config must be an object")
@@ -327,6 +399,15 @@ def request_to_dict(request) -> Dict[str, Any]:
         raise SerializationError(
             "cannot serialize request of type %s" % type(request).__name__
         )
+    if isinstance(request, HelloRequest):
+        return _envelope(kind, codecs=[str(c) for c in request.codecs])
+    if isinstance(request, BatchRequest):
+        items = []
+        for sub in request.requests:
+            if isinstance(sub, BatchRequest):
+                raise SerializationError("batch requests cannot nest")
+            items.append(request_to_dict(sub))
+        return _envelope(kind, requests=items)
     if isinstance(request, CreateColumnRequest):
         return _envelope(
             kind,
@@ -365,6 +446,18 @@ def request_from_dict(data: Dict[str, Any]):
     any malformed payload (never ``KeyError``/``TypeError``)."""
     kind = _check_envelope(data)
     try:
+        if kind == "hello":
+            return HelloRequest(codecs=_codecs_from_list(data["codecs"]))
+        if kind == "batch_request":
+            items = data["requests"]
+            if not isinstance(items, list):
+                raise SerializationError("batch requests must be a list")
+            subs = []
+            for item in items:
+                if isinstance(item, dict) and item.get("kind") == "batch_request":
+                    raise SerializationError("batch requests cannot nest")
+                subs.append(request_from_dict(item))
+            return BatchRequest(requests=tuple(subs))
         column = data["column"]
         if not isinstance(column, str) or not column:
             raise SerializationError("column name must be a non-empty string")
@@ -405,6 +498,12 @@ def response_to_dict(response) -> Dict[str, Any]:
         raise SerializationError(
             "cannot serialize response of type %s" % type(response).__name__
         )
+    if isinstance(response, HelloResponse):
+        return _envelope(kind, codecs=[str(c) for c in response.codecs])
+    if isinstance(response, BatchResponse):
+        return _envelope(
+            kind, responses=[response_to_dict(sub) for sub in response.responses]
+        )
     if isinstance(response, CreateColumnResponse):
         return _envelope(
             kind, column=response.column, rows_stored=int(response.rows_stored)
@@ -430,6 +529,15 @@ def response_from_dict(data: Dict[str, Any]):
     on any malformed payload."""
     kind = _check_envelope(data)
     try:
+        if kind == "hello_response":
+            return HelloResponse(codecs=_codecs_from_list(data["codecs"]))
+        if kind == "batch_response":
+            items = data["responses"]
+            if not isinstance(items, list):
+                raise SerializationError("batch responses must be a list")
+            return BatchResponse(
+                responses=tuple(response_from_dict(item) for item in items)
+            )
         if kind == "create_column_response":
             return CreateColumnResponse(
                 column=str(data["column"]), rows_stored=int(data["rows_stored"])
@@ -462,13 +570,17 @@ def response_from_dict(data: Dict[str, Any]):
 # -- frames ---------------------------------------------------------------------
 
 
-def encode_frame(payload: Dict[str, Any]) -> bytes:
+def encode_frame(payload: Dict[str, Any], codec: str = "json") -> bytes:
     """Canonical frame bytes for one envelope dict.
 
-    Compact separators and sorted keys make the encoding a pure
-    function of the envelope's content, so identical messages produce
-    identical bytes on every transport.
+    Both codecs are deterministic (compact separators plus sorted keys
+    for JSON; sorted keys plus encounter-order interning for binary),
+    so identical messages produce identical bytes on every transport.
     """
+    if codec == "binary":
+        return encode_binary_frame(payload)
+    if codec != "json":
+        raise SerializationError("unknown frame codec: %r" % (codec,))
     try:
         return json.dumps(
             payload, separators=(",", ":"), sort_keys=True
@@ -477,11 +589,24 @@ def encode_frame(payload: Dict[str, Any]) -> bytes:
         raise SerializationError("unencodable frame: %s" % exc) from exc
 
 
+def frame_codec(frame: bytes) -> str:
+    """The codec a frame was encoded with (by its first byte).
+
+    Binary frames start with the magic byte 0xAE, which can never open
+    a JSON frame; anything else is treated as JSON (and, if corrupt,
+    fails in :func:`decode_frame` with a typed error).
+    """
+    return "binary" if is_binary_frame(frame) else "json"
+
+
 def decode_frame(frame: bytes) -> Dict[str, Any]:
-    """Parse frame bytes back into an envelope dict."""
+    """Parse frame bytes back into an envelope dict (codec
+    auto-detected by the magic byte)."""
+    if is_binary_frame(frame):
+        return decode_binary_frame(frame)
     try:
         data = json.loads(frame.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+    except (UnicodeDecodeError, json.JSONDecodeError, RecursionError) as exc:
         raise SerializationError("invalid frame: %s" % exc) from exc
     if not isinstance(data, dict):
         raise SerializationError("frame must encode a JSON object")

@@ -25,6 +25,7 @@ from repro.net.protocol import (
     ErrorResponse,
     decode_frame,
     encode_frame,
+    frame_codec,
     response_to_dict,
 )
 from repro.net.transport import LENGTH_PREFIX, MAX_FRAME_BYTES
@@ -52,7 +53,9 @@ class _CatalogRequestHandler(socketserver.StreamRequestHandler):
                 )
             else:
                 response = self.server.catalog.dispatch(request)
-            frame = encode_frame(response)
+            # Answer in the codec the request arrived in, so JSON-only
+            # clients never see binary frames.
+            frame = encode_frame(response, codec=frame_codec(payload))
             try:
                 self.wfile.write(LENGTH_PREFIX.pack(len(frame)) + frame)
                 self.wfile.flush()

@@ -26,17 +26,25 @@ import struct
 from abc import ABC, abstractmethod
 
 from repro.errors import TransportError
-from repro.net.protocol import decode_frame, encode_frame
+from repro.net.protocol import decode_frame, encode_frame, frame_codec
 
 #: Frame length prefix: 4-byte unsigned big-endian.
 LENGTH_PREFIX = struct.Struct(">I")
 
-#: Upper bound on a single frame; anything larger is a corrupt stream.
+#: Upper bound on a single frame, enforced in *both* directions: the
+#: server read path drops connections announcing larger frames, and the
+#: client send path refuses to ship one (the receiver would kill the
+#: connection anyway — failing before the write keeps it alive).
 MAX_FRAME_BYTES = 1 << 30
 
 
 class Transport(ABC):
     """One client's channel to a column-catalog endpoint."""
+
+    #: Frame codec agreed with this transport's peer; ``None`` until a
+    #: handle negotiates (see ``RemoteColumn._ensure_codec``).  Cached
+    #: here because many column handles share one transport.
+    negotiated_codec = None
 
     @abstractmethod
     def exchange(self, frame: bytes) -> bytes:
@@ -58,7 +66,8 @@ class LoopbackTransport(Transport):
 
     Both directions pass through the real frame codec: the catalog
     dispatcher only ever sees decoded envelope dicts, exactly as it
-    would behind a socket.
+    would behind a socket.  The response is encoded with the same codec
+    the request arrived in, mirroring the TCP endpoint.
     """
 
     def __init__(self, catalog) -> None:
@@ -70,7 +79,10 @@ class LoopbackTransport(Transport):
         return self._catalog
 
     def exchange(self, frame: bytes) -> bytes:
-        return encode_frame(self._catalog.dispatch(decode_frame(frame)))
+        return encode_frame(
+            self._catalog.dispatch(decode_frame(frame)),
+            codec=frame_codec(frame),
+        )
 
 
 class TcpTransport(Transport):
@@ -115,6 +127,14 @@ class TcpTransport(Transport):
         return self._sock
 
     def exchange(self, frame: bytes) -> bytes:
+        if len(frame) > MAX_FRAME_BYTES:
+            # Refuse before touching the socket: the server would drop
+            # the connection on an oversized announcement, so failing
+            # here keeps the session usable.
+            raise TransportError(
+                "oversized request frame (%d bytes, limit %d)"
+                % (len(frame), MAX_FRAME_BYTES)
+            )
         sock = self._connection()
         try:
             sock.sendall(LENGTH_PREFIX.pack(len(frame)) + frame)

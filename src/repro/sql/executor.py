@@ -95,8 +95,7 @@ def execute_statement(
         ids = ids[: statement.limit]
 
     out: Dict[str, np.ndarray] = {"logical_ids": ids}
-    for column in columns:
-        out[column] = _fetch_column(table, column, ids)
+    out.update(_fetch_columns(table, columns, ids))
     return out
 
 
@@ -109,10 +108,11 @@ def _qualifying_ids(table: AnyTable, predicates: List[ColumnRange]) -> np.ndarra
     driver = _choose_driver(predicates)
     ids, driver_values = _driving_select(table, driver)
     keep = np.ones(len(ids), dtype=bool)
-    for predicate in predicates:
-        if predicate is driver:
-            continue
-        values = _fetch_column(table, predicate.column, ids)
+    residuals = [p for p in predicates if p is not driver]
+    # All residual columns ride one batch envelope over the wire.
+    fetched = _fetch_columns(table, [p.column for p in residuals], ids)
+    for predicate in residuals:
+        values = fetched[predicate.column]
         keep &= np.array(
             [predicate.contains(int(v)) for v in values], dtype=bool
         )
@@ -188,3 +188,16 @@ def _fetch_column(table: AnyTable, column: str, ids: np.ndarray) -> np.ndarray:
     if isinstance(table, OutsourcedTable):
         return table.fetch(column, ids)
     return table.column(column).fetch(ids)
+
+
+def _fetch_columns(
+    table: AnyTable, columns: List[str], ids: np.ndarray
+) -> Dict[str, np.ndarray]:
+    """Fetch several columns by id; one batched round trip when the
+    table is outsourced."""
+    unique = list(dict.fromkeys(columns))
+    if not unique:
+        return {}
+    if isinstance(table, OutsourcedTable):
+        return table.fetch_many(unique, ids)
+    return {column: table.column(column).fetch(ids) for column in unique}

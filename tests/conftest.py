@@ -16,6 +16,24 @@ from repro.crypto.key import generate_key
 from repro.crypto.scheme import Encryptor
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-cases",
+        action="store",
+        type=int,
+        default=500,
+        help="round-trip cases per envelope type in the codec fuzz "
+        "tests (tests/test_net_fuzz.py); raising it to 5000+ also "
+        "enables the deep nightly-scale fuzz test",
+    )
+
+
+@pytest.fixture(scope="session")
+def fuzz_cases(request):
+    """How many fuzz cases per envelope type (``--fuzz-cases``)."""
+    return int(request.config.getoption("--fuzz-cases"))
+
+
 @pytest.fixture(scope="session")
 def key4():
     """Default-size key (paper default l = 4)."""

@@ -8,7 +8,7 @@ import pytest
 
 from repro.core.session import OutsourcedDatabase
 from repro.errors import ProtocolError, QueryError, TransportError
-from repro.net import serve
+from repro.net import is_binary_frame, serve
 from repro.net.transport import LoopbackTransport, TcpTransport, Transport
 
 VALUES = list(np.random.default_rng(77).permutation(400))
@@ -78,11 +78,11 @@ class TestLoopbackTcpEquivalence:
             tcp_db.query(low, high)
         tcp_db.insert(10 ** 6)
         loop_db.insert(10 ** 6)
-        # The create frame is missing from the loopback recording (the
-        # wrapper was installed after upload); everything after must
-        # match byte for byte in both directions.
-        assert local.sent == tcp.sent[1:]
-        assert local.received == tcp.received[1:]
+        # The hello and create frames are missing from the loopback
+        # recording (the wrapper was installed after upload); everything
+        # after must match byte for byte in both directions.
+        assert local.sent == tcp.sent[2:]
+        assert local.received == tcp.received[2:]
         tcp.close()
 
     def test_updates_and_rotation_over_tcp(self, endpoint):
@@ -149,6 +149,108 @@ class TestFaults:
                     )
 
 
+class TestBatches:
+    def test_query_many_matches_sequential_one_round_trip(self, endpoint):
+        host, port = endpoint.server_address
+        with TcpTransport(host, port) as transport:
+            db = OutsourcedDatabase(VALUES, seed=21, transport=transport)
+            before = db.round_trips
+            results = db.query_many(WORKLOAD)
+            assert db.round_trips == before + 1
+            got = [sorted(r.values.tolist()) for r in results]
+            expected = [
+                sorted(v for v in VALUES if low <= v <= high)
+                for low, high in WORKLOAD
+            ]
+            assert got == expected
+
+    def test_server_killed_mid_batch_then_reconnect(self, endpoint):
+        """A crash during a batch surfaces TransportError; the session
+        works again once the endpoint is back (same catalog, same
+        port)."""
+        from repro.net.server import CatalogTCPServer
+
+        host, port = endpoint.server_address
+        transport = TcpTransport(host, port)
+        db = OutsourcedDatabase(VALUES[:80], seed=22, transport=transport)
+        db.query(0, 100)
+        endpoint.stop()
+        with pytest.raises(TransportError):
+            db.query_many(WORKLOAD)
+        revived = CatalogTCPServer((host, port), endpoint.catalog)
+        thread = threading.Thread(target=revived.serve_forever, daemon=True)
+        thread.start()
+        try:
+            results = db.query_many([(0, 100), (100, 200)])
+            expected = [
+                sorted(v for v in VALUES[:80] if low <= v <= high)
+                for low, high in ((0, 100), (100, 200))
+            ]
+            assert [sorted(r.values.tolist()) for r in results] == expected
+        finally:
+            revived.stop()
+            thread.join(timeout=5)
+            transport.close()
+
+    def test_batch_isolates_malformed_sub_request(self, endpoint):
+        """One garbage item inside a batch fails alone; the valid
+        sub-requests around it are applied."""
+        from repro.net.protocol import (
+            PROTOCOL_VERSION,
+            InsertRequest,
+            MergeRequest,
+            decode_frame,
+            encode_frame,
+            request_to_dict,
+        )
+
+        host, port = endpoint.server_address
+        with TcpTransport(host, port) as transport:
+            db = OutsourcedDatabase(VALUES[:40], seed=23, transport=transport)
+            rows = db.client.encrypt_value(10 ** 6)
+            batch = {
+                "kind": "batch_request",
+                "version": PROTOCOL_VERSION,
+                "requests": [
+                    request_to_dict(
+                        InsertRequest(column="values", rows=tuple(rows))
+                    ),
+                    {"kind": "no_such_kind", "version": PROTOCOL_VERSION},
+                    request_to_dict(MergeRequest(column="values")),
+                ],
+            }
+            reply = decode_frame(transport.exchange(encode_frame(batch)))
+            assert reply["kind"] == "batch_response"
+            first, second, third = reply["responses"]
+            assert first["kind"] == "insert_response"
+            assert second["kind"] == "error_response"
+            assert second["code"] == "serialization"
+            assert third["kind"] == "merge_response"
+            # The insert and merge really happened: the new row is
+            # fetchable by the id the batch assigned it.
+            fetched = db._remote.fetch(first["row_ids"])
+            assert len(fetched) == 1
+            assert db.client.encryptor.decrypt_value(fetched[0]) == 10 ** 6
+
+    def test_client_send_path_enforces_frame_cap(self, endpoint, monkeypatch):
+        """Oversized request frames are refused before the socket is
+        touched, and the refusal leaves the connection usable."""
+        import repro.net.transport as transport_module
+
+        host, port = endpoint.server_address
+        with TcpTransport(host, port) as transport:
+            db = OutsourcedDatabase(VALUES[:20], seed=24, transport=transport)
+            expected = sorted(v for v in VALUES[:20] if v <= 100)
+            assert sorted(db.query(0, 100).values.tolist()) == expected
+            monkeypatch.setattr(transport_module, "MAX_FRAME_BYTES", 64)
+            with pytest.raises(TransportError, match="oversized request"):
+                db.query(0, 100)
+            monkeypatch.undo()
+            # Same connection, no reconnect needed: the cap check fired
+            # before any bytes were written.
+            assert sorted(db.query(0, 100).values.tolist()) == expected
+
+
 class TestConcurrentSessions:
     def test_two_columns_do_not_interleave(self, endpoint):
         host, port = endpoint.server_address
@@ -194,8 +296,16 @@ class TestLoopback:
         db._remote._transport = recorder
         db.query(0, 100)
         assert len(recorder.sent) == 1
-        assert recorder.sent[0].startswith(b"{")
+        # Loopback negotiates the compact binary codec by default.
+        assert is_binary_frame(recorder.sent[0])
         assert db.bytes_sent > 0 and db.bytes_received > 0
+
+    def test_loopback_json_codec_still_frames_json(self):
+        db = OutsourcedDatabase(VALUES[:50], seed=13, codec="json")
+        recorder = RecordingTransport(db.transport)
+        db._remote._transport = recorder
+        db.query(0, 100)
+        assert recorder.sent[0].startswith(b"{")
 
     def test_loopback_transport_exposes_catalog(self):
         db = OutsourcedDatabase(VALUES[:10], seed=14)
