@@ -114,6 +114,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=9045)
+    serve.add_argument(
+        "--workers", type=int, default=8,
+        help="dispatch worker threads (the bound on concurrent engine "
+             "work; default 8)",
+    )
+    serve.add_argument(
+        "--max-connections", type=int, default=128,
+        help="accepted connections beyond this are refused (default 128)",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=None,
+        help="request-queue bound before `busy` backpressure "
+             "(default: 2x workers)",
+    )
 
     keygen = commands.add_parser("keygen", help="generate a secret key")
     keygen.add_argument("--length", type=int, default=4)
@@ -364,10 +378,20 @@ def _run_sql(args) -> int:
 def _run_serve(args) -> int:
     from repro.net import serve as bind_endpoint
 
-    endpoint = bind_endpoint(host=args.host, port=args.port)
+    endpoint = bind_endpoint(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_connections=args.max_connections,
+        queue_size=args.queue_size,
+    )
     host, port = endpoint.server_address
-    print("serving column catalog on %s:%d (ctrl-c to stop)" % (host, port),
-          flush=True)
+    print(
+        "serving column catalog on %s:%d "
+        "(%d workers, %d max connections; ctrl-c to stop)"
+        % (host, port, endpoint.workers, endpoint.max_connections),
+        flush=True,
+    )
     try:
         endpoint.serve_forever()
     except KeyboardInterrupt:

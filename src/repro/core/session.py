@@ -348,6 +348,15 @@ class OutsourcedDatabase:
 
         Logical ids are compacted; returns the old-to-new id mapping.
 
+        The two messages are fenced: ``RotateBegin`` returns the
+        column's mutation epoch, ``RotateApply`` echoes it, and the
+        server refuses the rebuild with
+        :class:`~repro.errors.RotationConflictError` if the column
+        mutated in between (a concurrent session's insert/delete/merge
+        would otherwise be silently erased).  On conflict the column is
+        left intact under the old key; call :meth:`rotate_key` again to
+        retry from a fresh snapshot.
+
         The fetch is genuinely unbounded (both bounds None — the scheme
         is arbitrary precision, so no finite sentinel range is safe)
         and internal: it attaches no jitter pivots and is excluded from
@@ -356,7 +365,8 @@ class OutsourcedDatabase:
         counters still see the maintenance frames).
         """
         self._obs.metrics.add("session.key_rotations")
-        response = self._remote.rotate_begin()
+        begin = self._remote.rotate_begin()
+        response = begin.response
         everything = self.client.decrypt_results(
             response.row_ids, response.rows, id_mapper=self._map_physical_id
         )
@@ -365,15 +375,19 @@ class OutsourcedDatabase:
         order = sorted(range(len(old_ids)), key=lambda i: old_ids[i])
         values = [values[i] for i in order]
         mapping = {old_ids[i]: new for new, i in enumerate(order)}
-        self.client = TrustedClient(
+        new_client = TrustedClient(
             key=None,
             seed=new_seed,
             ambiguity=self.client.ambiguity,
             key_length=self.client.key.length,
             fake_domain=self.client.fake_domain,
         )
-        rows, row_ids = self.client.encrypt_dataset(values)
-        self._remote.rotate_apply(rows, row_ids)
+        rows, row_ids = new_client.encrypt_dataset(values)
+        self._remote.rotate_apply(rows, row_ids, fence=begin.fence)
+        # The key switch commits only after the server accepted the
+        # rebuild: a fenced-off apply (RotationConflictError) leaves
+        # both parties on the old key and the session fully usable.
+        self.client = new_client
         self._logical_count = len(values)
         self._base_physical_count = len(rows)
         self._inserted_physical_to_logical = {}

@@ -71,6 +71,20 @@ class TransportError(ProtocolError):
     callers can retry connectivity failures specifically."""
 
 
+class ServerBusyError(ReproError):
+    """The endpoint rejected a request under load (its bounded request
+    queue was full, or it is draining for shutdown).  The request was
+    *never dispatched*, so retrying after a backoff is always safe —
+    even for non-idempotent operations."""
+
+
+class RotationConflictError(UpdateError):
+    """A ``rotate_apply`` was fenced off because the column mutated
+    between ``rotate_begin`` and ``rotate_apply`` (a concurrent insert,
+    delete, or merge).  The column is left intact under the old key;
+    the client restarts the rotation from ``rotate_begin``."""
+
+
 class AttackError(ReproError):
     """An attack simulation was configured inconsistently (not a failure
     of the attack itself — unsuccessful attacks return results)."""

@@ -19,7 +19,9 @@ mechanical.  It has three layers:
 * :mod:`repro.net.catalog` / :mod:`repro.net.server` — the server
   side: a :class:`ColumnCatalog` hosting many named columns (one
   :class:`~repro.core.server.SecureServer` each) behind a single
-  dispatcher, and the threaded TCP endpoint in front of it.
+  dispatcher, fronted by a bounded worker-pool TCP endpoint
+  (:class:`CatalogTCPServer`: accept loop + N dispatch workers over a
+  bounded queue, ``busy`` backpressure, graceful drain).
 
 :class:`~repro.net.client.RemoteColumn` is the client-side handle
 sessions hold instead of a server reference.  Wire details are
@@ -51,7 +53,11 @@ from repro.net.protocol import (
     response_from_dict,
     response_to_dict,
 )
-from repro.net.server import CatalogTCPServer, serve
+from repro.net.server import (
+    CatalogTCPServer,
+    ThreadPerConnectionServer,
+    serve,
+)
 from repro.net.transport import (
     LoopbackTransport,
     TcpTransport,
@@ -71,6 +77,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "RemoteColumn",
     "TcpTransport",
+    "ThreadPerConnectionServer",
     "Transport",
     "decode_binary_frame",
     "decode_frame",

@@ -27,7 +27,13 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.query import EncryptedQuery
 from repro.core.server import SecureServer
-from repro.errors import ProtocolError, QueryError, ReproError, UpdateError
+from repro.errors import (
+    ProtocolError,
+    QueryError,
+    ReproError,
+    RotationConflictError,
+    UpdateError,
+)
 from repro.net.protocol import (
     CODECS,
     CONFIG_DEFAULTS,
@@ -75,6 +81,12 @@ class ColumnCatalog:
         self._servers: Dict[str, SecureServer] = {}
         self._configs: Dict[str, Dict[str, Any]] = {}
         self._locks: Dict[str, threading.Lock] = {}
+        # Per-column mutation epoch: bumped by every state-changing
+        # request (insert/delete/merge/rotate_apply/restore).  The
+        # rotation fence compares it against the epoch snapshotted at
+        # ``rotate_begin`` so a rebuild can never erase concurrent
+        # writes.
+        self._epochs: Dict[str, int] = {}
 
     @property
     def obs(self) -> Observability:
@@ -126,6 +138,7 @@ class ColumnCatalog:
             self._servers[name] = server
             self._configs[name] = merged
             self._locks[name] = threading.Lock()
+            self._epochs[name] = 0
         self._obs.metrics.add("net.columns_created")
         return server
 
@@ -141,6 +154,7 @@ class ColumnCatalog:
             self._servers[name] = server
             self._configs[name] = dict(config)
             self._locks[name] = threading.Lock()
+            self._epochs[name] = 0
 
     def server(self, name: str) -> SecureServer:
         """The engine behind one column.
@@ -167,6 +181,7 @@ class ColumnCatalog:
             if name not in self._servers:
                 raise QueryError("unknown column: %r" % name)
             self._servers[name] = server
+            self._epochs[name] = self._epochs.get(name, 0) + 1
 
     def config(self, name: str) -> Dict[str, Any]:
         """The create-time engine configuration of one column."""
@@ -182,6 +197,23 @@ class ColumnCatalog:
                 return self._locks[name]
             except KeyError:
                 raise QueryError("unknown column: %r" % name) from None
+
+    def epoch(self, name: str) -> int:
+        """The column's current mutation epoch (rotation-fence token).
+
+        Raises:
+            QueryError: for unknown names.
+        """
+        with self._registry_lock:
+            try:
+                return self._epochs[name]
+            except KeyError:
+                raise QueryError("unknown column: %r" % name) from None
+
+    def _bump_epoch(self, name: str) -> int:
+        with self._registry_lock:
+            self._epochs[name] = self._epochs.get(name, 0) + 1
+            return self._epochs[name]
 
     # -- dispatch ----------------------------------------------------------------
 
@@ -301,19 +333,35 @@ class ColumnCatalog:
                     )
                 )
             if isinstance(request, InsertRequest):
-                return InsertResponse(
-                    row_ids=tuple(server.insert(list(request.rows)))
-                )
+                row_ids = tuple(server.insert(list(request.rows)))
+                self._bump_epoch(request.column)
+                return InsertResponse(row_ids=row_ids)
             if isinstance(request, DeleteRequest):
                 server.delete(request.row_ids)
+                self._bump_epoch(request.column)
                 return DeleteResponse(deleted=len(request.row_ids))
             if isinstance(request, MergeRequest):
-                return MergeResponse(delta=server.merge_pending())
+                delta = server.merge_pending()
+                self._bump_epoch(request.column)
+                return MergeResponse(delta=delta)
             if isinstance(request, RotateBeginRequest):
+                # The merge below is part of the snapshot, so the fence
+                # is read *after* it: only mutations arriving between
+                # begin and apply can invalidate the token.
                 server.merge_pending()
                 everything = server.execute(EncryptedQuery(low=None, high=None))
-                return RotateBeginResponse(response=everything)
+                return RotateBeginResponse(
+                    response=everything, fence=self.epoch(request.column)
+                )
             if isinstance(request, RotateApplyRequest):
+                current = self.epoch(request.column)
+                if request.fence is not None and request.fence != current:
+                    self._obs.metrics.add("net.rotation_conflicts")
+                    raise RotationConflictError(
+                        "column %r mutated since rotate_begin "
+                        "(epoch %d, fence %d); restart the rotation"
+                        % (request.column, current, request.fence)
+                    )
                 rebuilt = SecureServer(
                     list(request.rows),
                     list(request.row_ids),
@@ -322,6 +370,7 @@ class ColumnCatalog:
                 )
                 with self._registry_lock:
                     self._servers[request.column] = rebuilt
+                    self._epochs[request.column] = current + 1
                 return RotateApplyResponse(rows_stored=len(rebuilt))
         raise ProtocolError(
             "unhandled request type: %s" % type(request).__name__

@@ -18,7 +18,17 @@ client speaks; a server answering with ``binary`` upgrades every
 subsequent frame to the compact :mod:`repro.net.binframe` codec, while
 an old JSON-only peer (which answers hello with an error envelope)
 leaves the handle on JSON.  The outcome is cached on the transport, so
-many handles sharing one connection negotiate once.
+many handles sharing one connection negotiate once — and the cache is
+*cleared* when the transport closes (including after a mid-exchange
+connection loss), so a reconnect renegotiates from JSON instead of
+shipping binary frames to a peer that may no longer understand them.
+
+Retry: idempotent request kinds (hello, query, fetch) are flagged
+``retryable`` to the transport, which — when configured with
+``retries > 0`` — re-sends them after a mid-exchange connection loss
+with capped exponential backoff.  Mutating kinds (insert, delete,
+merge, rotate) are never retried automatically: a lost response leaves
+their server-side effect unknown.
 """
 
 from __future__ import annotations
@@ -27,7 +37,12 @@ from typing import Any, Dict, List, Sequence
 
 from repro.core.query import EncryptedQuery
 from repro.core.server import ServerResponse
-from repro.errors import ProtocolError, ReproError, TransportError
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServerBusyError,
+    TransportError,
+)
 from repro.net.protocol import (
     CODECS,
     BatchRequest,
@@ -60,6 +75,12 @@ from repro.net.protocol import (
 from repro.net.transport import Transport
 from repro.obs import Observability
 
+#: Request kinds the transport may safely re-send after a connection
+#: loss: they read state (or negotiate) without mutating it.  Insert,
+#: delete, merge, and the rotation pair are deliberately absent — a
+#: lost response leaves their effect unknown.
+IDEMPOTENT_REQUESTS = (HelloRequest, QueryRequest, FetchRequest)
+
 
 class RemoteColumn:
     """Typed protocol calls against one named column of an endpoint.
@@ -91,8 +112,9 @@ class RemoteColumn:
         self._net_received = metrics.counter("net.bytes_received")
         self._net_round_trips = metrics.counter("net.round_trips")
         self._net_frames_binary = metrics.counter("net.frames_binary")
+        self._net_retries = metrics.counter("net.retries")
         self._codec = "json" if codec == "auto" else codec
-        self._negotiated = codec != "auto"
+        self._auto = codec == "auto"
         #: Frame lengths of the most recent exchange (request, response).
         self.last_sent_bytes = 0
         self.last_received_bytes = 0
@@ -108,20 +130,26 @@ class RemoteColumn:
         return self._codec
 
     def _ensure_codec(self) -> None:
-        """Resolve ``codec="auto"`` with a one-time hello exchange.
+        """Resolve ``codec="auto"`` against the transport's cache.
 
         A peer that answers hello with ``binary`` upgrades the handle;
         a peer that rejects the hello envelope (an old JSON-only
         server) leaves it on JSON.  Transport failures propagate — the
         peer is unreachable, not merely old.
+
+        The negotiated codec lives on the *transport*, which clears it
+        on close (and therefore after any connection loss).  Checking
+        the cache on every call — not once per handle — is what makes
+        a reconnect renegotiate: the restarted peer may be older than
+        the one that agreed to binary.
         """
-        if self._negotiated:
+        if not self._auto:
             return
-        self._negotiated = True
         cached = getattr(self._transport, "negotiated_codec", None)
         if cached is not None:
             self._codec = cached
             return
+        self._codec = "json"  # hello itself always ships as JSON
         try:
             response = self._exchange(HelloRequest(codecs=CODECS))
             if isinstance(response, HelloResponse):
@@ -130,8 +158,9 @@ class RemoteColumn:
                     (c for c in CODECS if c in offered), "json"
                 )
         except TransportError:
-            self._negotiated = False
-            raise
+            raise  # unreachable peer: renegotiate on the next call
+        except ServerBusyError:
+            raise  # loaded, not old: renegotiate on the next call
         except ReproError:
             self._codec = "json"  # peer predates the hello envelope
         self._transport.negotiated_codec = self._codec
@@ -159,8 +188,15 @@ class RemoteColumn:
             frame = encode_frame(request_to_dict(request), codec=self._codec)
         if self._codec == "binary":
             self._net_frames_binary.add(1)
-        with self._obs.span("rpc", kind=kind, column=self.column):
-            reply = self._transport.exchange(frame)
+        retryable = isinstance(request, IDEMPOTENT_REQUESTS)
+        retries_before = getattr(self._transport, "retry_count", 0)
+        try:
+            with self._obs.span("rpc", kind=kind, column=self.column):
+                reply = self._transport.exchange(frame, retryable=retryable)
+        finally:
+            retried = getattr(self._transport, "retry_count", 0) - retries_before
+            if retried:
+                self._net_retries.add(retried)
         with self._obs.span("transport-decode", kind=kind):
             response = response_from_dict(decode_frame(reply))
         self.last_sent_bytes = len(frame)
@@ -251,18 +287,34 @@ class RemoteColumn:
         response = self.call(MergeRequest(column=self.column))
         return self._expect(response, MergeResponse).delta
 
-    def rotate_begin(self) -> ServerResponse:
-        """Merge pending state and fetch every live row for rotation."""
-        response = self.call(RotateBeginRequest(column=self.column))
-        return self._expect(response, RotateBeginResponse).response
+    def rotate_begin(self) -> RotateBeginResponse:
+        """Merge pending state and fetch every live row for rotation.
 
-    def rotate_apply(self, rows: Sequence, row_ids: Sequence[int]) -> int:
-        """Replace the column with re-encrypted rows; returns the count."""
+        Returns the full envelope: ``.response`` holds the rows and
+        ``.fence`` the mutation-epoch token to echo into
+        :meth:`rotate_apply`.
+        """
+        response = self.call(RotateBeginRequest(column=self.column))
+        return self._expect(response, RotateBeginResponse)
+
+    def rotate_apply(
+        self,
+        rows: Sequence,
+        row_ids: Sequence[int],
+        fence: int = None,
+    ) -> int:
+        """Replace the column with re-encrypted rows; returns the count.
+
+        ``fence`` is the token from :meth:`rotate_begin`; the server
+        raises :class:`~repro.errors.RotationConflictError` (leaving
+        the column intact) if the column mutated since then.
+        """
         response = self.call(
             RotateApplyRequest(
                 column=self.column,
                 rows=tuple(rows),
                 row_ids=tuple(int(i) for i in row_ids),
+                fence=None if fence is None else int(fence),
             )
         )
         return self._expect(response, RotateApplyResponse).rows_stored

@@ -56,7 +56,9 @@ from repro.errors import (
     ProtocolError,
     QueryError,
     ReproError,
+    RotationConflictError,
     SerializationError,
+    ServerBusyError,
     TransportError,
     UpdateError,
 )
@@ -170,11 +172,18 @@ class RotateApplyRequest:
     """Finish a key rotation: replace the column's state with rows
     re-encrypted under the new key.  The server rebuilds the engine
     with the column's original configuration; the adaptive index
-    restarts empty (its structure was derived under old ciphertexts)."""
+    restarts empty (its structure was derived under old ciphertexts).
+
+    ``fence`` is the mutation epoch returned by ``rotate_begin``: the
+    catalog refuses the apply with a ``conflict`` error envelope if the
+    column mutated since that epoch, so concurrent inserts or deletes
+    are never silently erased by the rebuild.  ``None`` (a pre-fence
+    client) skips the check."""
 
     column: str
     rows: Tuple[ValueCiphertext, ...]
     row_ids: Tuple[int, ...]
+    fence: Optional[int] = None
 
 
 # -- response envelopes ---------------------------------------------------------
@@ -244,9 +253,15 @@ class MergeResponse:
 
 @dataclass(frozen=True)
 class RotateBeginResponse:
-    """Every live row of the column, for client-side re-encryption."""
+    """Every live row of the column, for client-side re-encryption.
+
+    ``fence`` is the column's mutation epoch at snapshot time; the
+    client echoes it in ``rotate_apply`` so the catalog can reject the
+    rebuild if the column mutated in between.  ``None`` only from a
+    pre-fence server."""
 
     response: ServerResponse
+    fence: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -273,14 +288,18 @@ class ErrorResponse:
 ERROR_CLASSES: Dict[str, type] = {
     "query": QueryError,
     "update": UpdateError,
+    "conflict": RotationConflictError,
     "serialization": SerializationError,
     "transport": TransportError,
+    "busy": ServerBusyError,
     "protocol": ProtocolError,
     "internal": ProtocolError,
 }
 
 #: Most-specific-first mapping of server-side exceptions to wire codes.
 _ERROR_CODES: Tuple[Tuple[type, str], ...] = (
+    (ServerBusyError, "busy"),
+    (RotationConflictError, "conflict"),
     (TransportError, "transport"),
     (QueryError, "query"),
     (UpdateError, "update"),
@@ -432,13 +451,17 @@ def request_to_dict(request) -> Dict[str, Any]:
         )
     if isinstance(request, (MergeRequest, RotateBeginRequest)):
         return _envelope(kind, column=request.column)
-    # RotateApplyRequest
-    return _envelope(
+    # RotateApplyRequest; the fence is omitted when absent so pre-fence
+    # frames stay byte-identical.
+    payload = _envelope(
         kind,
         column=request.column,
         rows=_rows_to_list(request.rows),
         row_ids=[int(i) for i in request.row_ids],
     )
+    if request.fence is not None:
+        payload["fence"] = int(request.fence)
+    return payload
 
 
 def request_from_dict(data: Dict[str, Any]):
@@ -481,10 +504,12 @@ def request_from_dict(data: Dict[str, Any]):
         if kind == "rotate_begin":
             return RotateBeginRequest(column=column)
         if kind == "rotate_apply":
+            fence = data.get("fence")
             return RotateApplyRequest(
                 column=column,
                 rows=_rows_from_list(data["rows"]),
                 row_ids=_ids_from_list(data["row_ids"]),
+                fence=None if fence is None else int(fence),
             )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError("malformed %s payload: %s" % (kind, exc)) from exc
@@ -508,8 +533,15 @@ def response_to_dict(response) -> Dict[str, Any]:
         return _envelope(
             kind, column=response.column, rows_stored=int(response.rows_stored)
         )
-    if isinstance(response, (QueryResponse, RotateBeginResponse)):
+    if isinstance(response, QueryResponse):
         return _envelope(kind, body=server_response_to_dict(response.response))
+    if isinstance(response, RotateBeginResponse):
+        payload = _envelope(
+            kind, body=server_response_to_dict(response.response)
+        )
+        if response.fence is not None:
+            payload["fence"] = int(response.fence)
+        return payload
     if isinstance(response, FetchResponse):
         return _envelope(kind, rows=_rows_to_list(response.rows))
     if isinstance(response, InsertResponse):
@@ -553,8 +585,10 @@ def response_from_dict(data: Dict[str, Any]):
         if kind == "merge_response":
             return MergeResponse(delta=int(data["delta"]))
         if kind == "rotate_begin_response":
+            fence = data.get("fence")
             return RotateBeginResponse(
-                response=server_response_from_dict(data["body"])
+                response=server_response_from_dict(data["body"]),
+                fence=None if fence is None else int(fence),
             )
         if kind == "rotate_apply_response":
             return RotateApplyResponse(rows_stored=int(data["rows_stored"]))

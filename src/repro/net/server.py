@@ -1,20 +1,44 @@
 """TCP endpoint hosting a column catalog (``repro serve``).
 
-A :class:`CatalogTCPServer` accepts persistent connections, reads
-length-prefixed protocol frames, routes each through
-:meth:`~repro.net.catalog.ColumnCatalog.dispatch`, and writes the
-response frame back.  One thread per connection; column-level locking
-inside the catalog keeps concurrent sessions on different columns
-independent and requests on the same column serialized.
+:class:`CatalogTCPServer` is a bounded worker-pool front: an accept
+loop admits at most ``max_connections`` persistent connections, a
+lightweight per-connection reader parses length-prefixed frames, and a
+fixed pool of ``workers`` threads executes
+:meth:`~repro.net.catalog.ColumnCatalog.dispatch` over a bounded
+request queue.  The pool — not the connection count — is the
+concurrency limit on engine work, so a thousand idle connections cost
+a thousand parked reader threads and nothing more, while dispatch
+parallelism stays at ``workers``.
+
+Backpressure is explicit: when the request queue is full (or the
+server is draining), the offending frame is answered immediately with
+a typed ``busy`` error envelope — the request is *never dispatched*,
+so the client may safely retry after a backoff, even for mutations.
+Connections beyond ``max_connections`` are refused at accept.
+
+:meth:`CatalogTCPServer.stop` drains gracefully: the listener closes,
+readers refuse new frames with ``busy``, queued and in-flight requests
+finish and their responses are written, and only then are the
+connections torn down.
+
+Each connection processes its frames strictly in order (the reader
+waits for the response of frame *n* before reading frame *n+1*),
+matching the client's one-outstanding-request protocol and making
+response mis-pairing impossible even against a misbehaving client.
 
 Server-side failures never cross the wire as exceptions: malformed
 frames and engine errors are answered with typed error envelopes, and
 a connection that turns into garbage (bad length prefix, oversized
 frame) is simply closed.
+
+:class:`ThreadPerConnectionServer` is the pre-worker-pool front —
+unbounded thread-per-connection with no backpressure — kept as the
+baseline the transport benchmark measures the pool against.
 """
 
 from __future__ import annotations
 
+import queue
 import socket
 import socketserver
 import threading
@@ -30,9 +54,337 @@ from repro.net.protocol import (
 )
 from repro.net.transport import LENGTH_PREFIX, MAX_FRAME_BYTES
 
+#: Worker shutdown sentinel; never visible to readers.
+_STOP = object()
+
+
+class _Connection:
+    """One accepted client socket plus its write lock.
+
+    ``done`` is the reader/worker handoff event; one per connection
+    (not per frame) because a connection has at most one frame in
+    flight — the reader clears it before each enqueue.
+    """
+
+    __slots__ = ("sock", "address", "write_lock", "done")
+
+    def __init__(self, sock: socket.socket, address) -> None:
+        self.sock = sock
+        self.address = address
+        self.write_lock = threading.Lock()
+        self.done = threading.Event()
+
+    def write_frame(self, frame: bytes) -> None:
+        with self.write_lock:
+            self.sock.sendall(LENGTH_PREFIX.pack(len(frame)) + frame)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - close is best effort
+            pass
+
+
+class CatalogTCPServer:
+    """Bounded worker-pool TCP server in front of one :class:`ColumnCatalog`.
+
+    Args:
+        address: ``(host, port)``; port 0 picks an ephemeral port
+            (read it back from :attr:`server_address`).
+        catalog: the endpoint's column catalog; a fresh empty one is
+            created when omitted.
+        workers: dispatch threads — the bound on concurrent engine
+            work.
+        max_connections: accepted connections beyond this are closed
+            immediately (``net.connections_refused``).
+        queue_size: request-queue bound; beyond it frames are answered
+            ``busy`` (``net.busy_rejected``).  Defaults to
+            ``2 * workers``.
+    """
+
+    def __init__(
+        self,
+        address,
+        catalog: ColumnCatalog = None,
+        workers: int = 8,
+        max_connections: int = 128,
+        queue_size: int = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else ColumnCatalog()
+        self.workers = max(1, int(workers))
+        self.max_connections = max(1, int(max_connections))
+        self.queue_size = (
+            max(1, int(queue_size)) if queue_size is not None
+            else 2 * self.workers
+        )
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_size)
+        self._metrics = self.catalog.obs.metrics
+        self._connections = set()
+        self._connections_lock = threading.Lock()
+        self._reader_threads = set()
+        self._worker_threads = []
+        self._draining = threading.Event()
+        self._stopped = False
+        self._state_lock = threading.Lock()
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind(address)
+            listener.listen(min(128, self.max_connections))
+        except OSError:
+            listener.close()
+            raise
+        self._listener = listener
+        self.server_address = listener.getsockname()
+        self._metrics.set("net.workers", self.workers)
+        self._metrics.set("net.queue_depth", 0)
+        self._metrics.set("net.active_connections", 0)
+
+    # -- serving -----------------------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Run the accept loop in the calling thread until :meth:`stop`."""
+        self._start_workers()
+        while not self._draining.is_set():
+            try:
+                sock, address = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            self._admit(sock, address)
+
+    def _start_workers(self) -> None:
+        with self._state_lock:
+            if self._worker_threads or self._stopped:
+                return
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name="catalog-worker-%d" % index,
+                    daemon=True,
+                )
+                thread.start()
+                self._worker_threads.append(thread)
+
+    def _admit(self, sock: socket.socket, address) -> None:
+        # Accepted sockets carry SO_REUSEADDR too, so sockets lingering
+        # in FIN_WAIT/TIME_WAIT after stop() don't block a successor
+        # from rebinding the same port.
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        except OSError:  # pragma: no cover
+            pass
+        with self._connections_lock:
+            admitted = (
+                not self._draining.is_set()
+                and len(self._connections) < self.max_connections
+            )
+            if admitted:
+                connection = _Connection(sock, address)
+                self._connections.add(connection)
+                count = len(self._connections)
+        if not admitted:
+            self._metrics.add("net.connections_refused")
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            return
+        self._metrics.set("net.active_connections", count)
+        thread = threading.Thread(
+            target=self._reader_loop,
+            args=(connection,),
+            name="catalog-reader-%s:%s" % address[:2],
+            daemon=True,
+        )
+        with self._connections_lock:
+            self._reader_threads.add(thread)
+        thread.start()
+
+    def _reader_loop(self, connection: _Connection) -> None:
+        """Parse frames off one connection, strictly one at a time.
+
+        The reader never dispatches: it hands each frame to the worker
+        pool and waits for its completion before reading the next, so
+        responses can never be mis-paired and one connection can hold
+        at most one queue slot.
+        """
+        sock = connection.sock
+        try:
+            while True:
+                header = self._recv_exact(sock, LENGTH_PREFIX.size)
+                if header is None:
+                    return  # client closed the connection
+                (length,) = LENGTH_PREFIX.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    return  # corrupt stream; drop the connection
+                payload = self._recv_exact(sock, length)
+                if payload is None:
+                    return
+                if self._draining.is_set():
+                    # Graceful drain: new frames are refused (never
+                    # silently dropped) and the connection closes.
+                    self._refuse(connection, payload, "endpoint draining")
+                    return
+                done = connection.done
+                done.clear()
+                try:
+                    self._queue.put_nowait((connection, payload, done))
+                except queue.Full:
+                    self._metrics.add("net.busy_rejected")
+                    self._refuse(
+                        connection, payload,
+                        "request queue full (%d workers, queue %d)"
+                        % (self.workers, self.queue_size),
+                    )
+                    continue
+                self._metrics.set("net.queue_depth", self._queue.qsize())
+                done.wait()
+        finally:
+            self._forget(connection)
+            with self._connections_lock:
+                self._reader_threads.discard(threading.current_thread())
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            connection, payload, done = item
+            try:
+                self._serve_frame(connection, payload)
+            except Exception:
+                # A connection-level failure (or a defect in an engine
+                # below the catalog's own isolation) must never kill a
+                # pool worker.
+                pass
+            finally:
+                done.set()
+
+    def _serve_frame(self, connection: _Connection, payload: bytes) -> None:
+        try:
+            request = decode_frame(payload)
+        except SerializationError as exc:
+            response = response_to_dict(
+                ErrorResponse(code="serialization", message=str(exc))
+            )
+        else:
+            response = self.catalog.dispatch(request)
+        # Answer in the codec the request arrived in, so JSON-only
+        # clients never see binary frames.
+        frame = encode_frame(response, codec=frame_codec(payload))
+        try:
+            connection.write_frame(frame)
+        except OSError:
+            self._forget(connection)  # client went away mid-response
+
+    def _refuse(
+        self, connection: _Connection, payload: bytes, detail: str
+    ) -> None:
+        """Answer a frame with a ``busy`` envelope without dispatching.
+
+        The request never reached the catalog, so the client may retry
+        it — even a mutation — once the endpoint has capacity.
+        """
+        response = response_to_dict(
+            ErrorResponse(code="busy", message=detail)
+        )
+        try:
+            connection.write_frame(
+                encode_frame(response, codec=frame_codec(payload))
+            )
+        except OSError:
+            self._forget(connection)
+
+    @staticmethod
+    def _recv_exact(sock: socket.socket, count: int):
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = sock.recv(remaining)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _forget(self, connection: _Connection) -> None:
+        with self._connections_lock:
+            if connection not in self._connections:
+                return
+            self._connections.discard(connection)
+            count = len(self._connections)
+        connection.close()
+        self._metrics.set("net.active_connections", count)
+
+    # -- shutdown ----------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Drain and stop: finish in-flight work, then tear down.
+
+        The listener closes first (no new connections), readers refuse
+        any frame arriving after this point with a ``busy`` envelope,
+        queued and in-flight requests complete and their responses are
+        written, and finally every connection is closed — so a client
+        blocked on an already-accepted exchange gets its answer, while
+        the next exchange raises
+        :class:`~repro.errors.TransportError`.
+        """
+        with self._state_lock:
+            if self._stopped:
+                return
+            self._stopped = True
+            workers = list(self._worker_threads)
+        self._draining.set()
+        # shutdown() before close(): closing the fd alone does not wake
+        # a thread blocked in accept(), and that blocked syscall keeps
+        # the kernel socket alive in LISTEN state (blocking rebinds).
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:  # pragma: no cover - already disconnected
+            pass
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        # Sentinels queue up *behind* the remaining backlog, so workers
+        # finish every accepted request before exiting.
+        for _ in workers:
+            self._queue.put(_STOP)
+        for thread in workers:
+            thread.join(timeout=30)
+        # A reader racing the drain flag may have enqueued behind the
+        # sentinels; refuse those frames so no client is left hanging.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            connection, payload, done = item
+            self._refuse(connection, payload, "endpoint draining")
+            done.set()
+        with self._connections_lock:
+            connections = list(self._connections)
+            self._connections.clear()
+        for connection in connections:
+            connection.close()
+        self._metrics.set("net.active_connections", 0)
+        with self._connections_lock:
+            readers = list(self._reader_threads)
+        for thread in readers:
+            thread.join(timeout=5)
+
 
 class _CatalogRequestHandler(socketserver.StreamRequestHandler):
-    """Frame loop for one client connection."""
+    """Frame loop for one client connection (baseline server)."""
 
     def handle(self) -> None:
         while True:
@@ -53,8 +405,6 @@ class _CatalogRequestHandler(socketserver.StreamRequestHandler):
                 )
             else:
                 response = self.server.catalog.dispatch(request)
-            # Answer in the codec the request arrived in, so JSON-only
-            # clients never see binary frames.
             frame = encode_frame(response, codec=frame_codec(payload))
             try:
                 self.wfile.write(LENGTH_PREFIX.pack(len(frame)) + frame)
@@ -63,14 +413,12 @@ class _CatalogRequestHandler(socketserver.StreamRequestHandler):
                 return  # client went away mid-response
 
 
-class CatalogTCPServer(socketserver.ThreadingTCPServer):
-    """Threaded TCP server in front of one :class:`ColumnCatalog`.
+class ThreadPerConnectionServer(socketserver.ThreadingTCPServer):
+    """The pre-worker-pool front: one unbounded thread per connection.
 
-    Args:
-        address: ``(host, port)``; port 0 picks an ephemeral port
-            (read it back from :attr:`server_address`).
-        catalog: the endpoint's column catalog; a fresh empty one is
-            created when omitted.
+    No request queue, no backpressure, no graceful drain — kept as the
+    baseline ``benchmarks/bench_transport.py`` measures the worker
+    pool against.  Not used by ``repro serve``.
     """
 
     allow_reuse_address = True
@@ -94,12 +442,7 @@ class CatalogTCPServer(socketserver.ThreadingTCPServer):
         super().close_request(request)
 
     def stop(self) -> None:
-        """Stop serving and drop every open connection.
-
-        Clients blocked on an exchange observe a closed socket and
-        raise :class:`~repro.errors.TransportError` instead of hanging
-        — the crash behaviour the fault-injection tests pin.
-        """
+        """Stop serving and drop every open connection immediately."""
         self.shutdown()
         with self._connections_lock:
             connections = list(self._connections)
@@ -117,7 +460,12 @@ class CatalogTCPServer(socketserver.ThreadingTCPServer):
 
 
 def serve(
-    catalog: ColumnCatalog = None, host: str = "127.0.0.1", port: int = 0
+    catalog: ColumnCatalog = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: int = 8,
+    max_connections: int = 128,
+    queue_size: int = None,
 ) -> CatalogTCPServer:
     """Bind a catalog endpoint; the caller drives ``serve_forever``.
 
@@ -126,4 +474,10 @@ def serve(
     typically on a background thread in tests, or foreground under the
     ``repro serve`` CLI command.
     """
-    return CatalogTCPServer((host, port), catalog)
+    return CatalogTCPServer(
+        (host, port),
+        catalog,
+        workers=workers,
+        max_connections=max_connections,
+        queue_size=queue_size,
+    )

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import socket
 import struct
+import threading
+import time
 from abc import ABC, abstractmethod
 
 from repro.errors import TransportError
@@ -43,15 +45,36 @@ class Transport(ABC):
 
     #: Frame codec agreed with this transport's peer; ``None`` until a
     #: handle negotiates (see ``RemoteColumn._ensure_codec``).  Cached
-    #: here because many column handles share one transport.
+    #: here because many column handles share one transport — and
+    #: cleared on :meth:`close` (including the implicit close after a
+    #: connection loss), because the peer behind a *new* connection may
+    #: be a different, older server that no longer speaks the agreed
+    #: codec.  Handles re-check the cache on every call, so the first
+    #: exchange after a reconnect renegotiates.
     negotiated_codec = None
 
+    #: Total idempotent re-sends performed (see ``TcpTransport``
+    #: retries); column handles read the delta per exchange to feed the
+    #: ``net.retries`` counter.
+    retry_count = 0
+
     @abstractmethod
-    def exchange(self, frame: bytes) -> bytes:
-        """Deliver one request frame; return the response frame."""
+    def exchange(self, frame: bytes, retryable: bool = False) -> bytes:
+        """Deliver one request frame; return the response frame.
+
+        ``retryable`` marks the frame as an idempotent request the
+        transport may re-send after a mid-exchange connection loss;
+        transports without retry support ignore it.
+        """
 
     def close(self) -> None:
-        """Release any underlying resources (idempotent)."""
+        """Release any underlying resources (idempotent).
+
+        Subclasses overriding this must also drop
+        :attr:`negotiated_codec` — a closed transport's next
+        connection may reach a different peer.
+        """
+        self.negotiated_codec = None
 
     def __enter__(self) -> "Transport":
         return self
@@ -78,7 +101,7 @@ class LoopbackTransport(Transport):
         """The in-process endpoint this transport is looped onto."""
         return self._catalog
 
-    def exchange(self, frame: bytes) -> bytes:
+    def exchange(self, frame: bytes, retryable: bool = False) -> bytes:
         return encode_frame(
             self._catalog.dispatch(decode_frame(frame)),
             codec=frame_codec(frame),
@@ -86,13 +109,25 @@ class LoopbackTransport(Transport):
 
 
 class TcpTransport(Transport):
-    """Length-prefixed JSON frames over one persistent TCP connection.
+    """Length-prefixed frames over one persistent TCP connection.
+
+    The transport is safe to share across threads and column handles:
+    a per-transport lock serializes :meth:`exchange`, so two threads
+    can never interleave their frame bytes on the socket or steal each
+    other's responses.  A connection is (re-)established lazily on the
+    next exchange after any failure.
 
     Args:
         host, port: the ``repro serve`` endpoint address.
         connect_timeout: seconds allowed for establishing the
             connection (lazily, on first exchange).
         timeout: per-exchange send/receive deadline in seconds.
+        retries: how many times a *retryable* frame (flagged by the
+            caller — queries, fetches, hello) may be re-sent after a
+            mid-exchange connection loss.  0 (default) disables
+            retries; mutating frames are never retried regardless.
+        backoff: initial delay in seconds before the first re-send;
+            doubles per attempt up to ``backoff_cap``.
     """
 
     def __init__(
@@ -101,11 +136,19 @@ class TcpTransport(Transport):
         port: int,
         connect_timeout: float = 5.0,
         timeout: float = 30.0,
+        retries: int = 0,
+        backoff: float = 0.05,
+        backoff_cap: float = 2.0,
     ) -> None:
         self._address = (host, int(port))
         self._connect_timeout = connect_timeout
         self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._backoff = backoff
+        self._backoff_cap = backoff_cap
+        self._lock = threading.Lock()
         self._sock: socket.socket = None
+        self.retry_count = 0
 
     @property
     def address(self):
@@ -126,7 +169,7 @@ class TcpTransport(Transport):
             self._sock = sock
         return self._sock
 
-    def exchange(self, frame: bytes) -> bytes:
+    def exchange(self, frame: bytes, retryable: bool = False) -> bytes:
         if len(frame) > MAX_FRAME_BYTES:
             # Refuse before touching the socket: the server would drop
             # the connection on an oversized announcement, so failing
@@ -135,6 +178,23 @@ class TcpTransport(Transport):
                 "oversized request frame (%d bytes, limit %d)"
                 % (len(frame), MAX_FRAME_BYTES)
             )
+        with self._lock:
+            attempts_left = self._retries if retryable else 0
+            delay = self._backoff
+            while True:
+                try:
+                    return self._exchange_once(frame)
+                except TransportError:
+                    if attempts_left <= 0:
+                        raise
+                    attempts_left -= 1
+                    self.retry_count += 1
+                    time.sleep(delay)
+                    delay = min(delay * 2, self._backoff_cap)
+
+    def _exchange_once(self, frame: bytes) -> bytes:
+        """One send/receive attempt; any failure drops the connection
+        (the next attempt reconnects lazily)."""
         sock = self._connection()
         try:
             sock.sendall(LENGTH_PREFIX.pack(len(frame)) + frame)
@@ -145,12 +205,12 @@ class TcpTransport(Transport):
                 )
             return self._recv_exact(sock, length)
         except TransportError:
-            self.close()
+            self._drop_connection()
             raise
         except OSError as exc:
             # Covers socket.timeout and connection resets alike; the
             # connection state is unknown, so drop it.
-            self.close()
+            self._drop_connection()
             raise TransportError(
                 "exchange with %s:%d failed: %s" % (*self._address, exc)
             ) from exc
@@ -170,10 +230,16 @@ class TcpTransport(Transport):
             remaining -= len(chunk)
         return b"".join(chunks)
 
-    def close(self) -> None:
+    def _drop_connection(self) -> None:
+        """Close the socket and forget the negotiated codec: the next
+        connection may reach a restarted (possibly older) peer."""
         if self._sock is not None:
             try:
                 self._sock.close()
             except OSError:  # pragma: no cover - close is best effort
                 pass
             self._sock = None
+        self.negotiated_codec = None
+
+    def close(self) -> None:
+        self._drop_connection()

@@ -1,0 +1,628 @@
+"""Concurrency stress tests for the net layer.
+
+Covers the three PR-5 guarantees:
+
+* shared-transport safety — one :class:`TcpTransport` used by many
+  threads/columns never interleaves frame bytes or mis-pairs
+  responses (regression: pre-lock, concurrent ``exchange`` calls
+  corrupted the length-prefixed stream);
+* worker-pool front — bounded workers with ``busy`` backpressure and
+  graceful drain (in-flight requests finish, late frames get a typed
+  refusal, nothing hangs);
+* rotation fencing — ``rotate_apply`` is refused when the column
+  mutated after ``rotate_begin`` (regression: pre-fence, a concurrent
+  insert between the two messages was silently erased by the rebuild).
+"""
+
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.session import OutsourcedDatabase
+from repro.errors import (
+    ReproError,
+    RotationConflictError,
+    ServerBusyError,
+    TransportError,
+)
+from repro.net import ColumnCatalog, RemoteColumn, serve
+from repro.net.protocol import (
+    DeleteRequest,
+    ErrorResponse,
+    InsertRequest,
+    decode_frame,
+    encode_frame,
+    response_to_dict,
+)
+from repro.net.server import CatalogTCPServer
+from repro.net.transport import (
+    LENGTH_PREFIX,
+    LoopbackTransport,
+    TcpTransport,
+    Transport,
+)
+
+VALUES_A = list(np.random.default_rng(41).permutation(200))
+VALUES_B = [1000 + v for v in np.random.default_rng(42).permutation(200)]
+
+
+def start(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+class GatedCatalog(ColumnCatalog):
+    """Catalog whose dispatch blocks on a gate for selected kinds.
+
+    Lets a test park a worker mid-request deterministically, so queue
+    occupancy / drain windows can be asserted without sleeps.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.entered = threading.Semaphore(0)
+        self.gated_kinds = set()
+
+    def dispatch(self, request_dict):
+        if request_dict.get("kind") in self.gated_kinds:
+            self.entered.release()
+            self.gate.wait()
+        return super().dispatch(request_dict)
+
+
+# -- shared transport ----------------------------------------------------------
+
+
+class TestSharedTransport:
+    def test_two_columns_eight_threads_one_transport(self):
+        """Regression: concurrent exchanges over one shared TCP
+        transport used to interleave their frame bytes on the socket.
+        With the per-transport lock, every thread gets exactly its own
+        column's rows back."""
+        server = serve()
+        thread = start(server)
+        host, port = server.server_address
+        transport = TcpTransport(host, port)
+        try:
+            db_a = OutsourcedDatabase(
+                VALUES_A, seed=1, transport=transport, column="a"
+            )
+            db_b = OutsourcedDatabase(
+                VALUES_B, seed=2, transport=transport, column="b"
+            )
+            plans = [
+                ("a", db_a, [0, 1, 2]),
+                ("b", db_b, [0, 1, 2, 3, 4]),
+            ]
+            errors = []
+
+            def hammer(name, db, row_ids):
+                handle = RemoteColumn(transport, name, codec="json")
+                expected = set(int(v) for v in (
+                    VALUES_A if name == "a" else VALUES_B
+                ))
+                try:
+                    for _ in range(25):
+                        rows = handle.fetch(row_ids)
+                        assert len(rows) == len(row_ids)
+                        for row in rows:
+                            value = db.client.encryptor.decrypt_value(row)
+                            assert value in expected, (
+                                "cross-delivered row: %r" % (value,)
+                            )
+                except Exception as exc:  # surfaced after join
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=plans[i % 2])
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert not errors, errors
+        finally:
+            transport.close()
+            server.stop()
+            thread.join(timeout=5)
+
+
+# -- rotation fencing ----------------------------------------------------------
+
+
+class TestRotationFence:
+    def _loopback_db(self):
+        return OutsourcedDatabase(list(range(100)), seed=11)
+
+    def test_insert_between_begin_and_apply_is_fenced(self):
+        db = self._loopback_db()
+        catalog = db.transport.catalog
+        begin = db._remote.rotate_begin()
+        assert begin.fence is not None
+        epoch_at_begin = catalog.epoch("values")
+        # A concurrent session sneaks an insert in between the two
+        # rotation messages.
+        catalog.handle(
+            InsertRequest(
+                column="values", rows=tuple(db.client.encrypt_value(5555))
+            )
+        )
+        with pytest.raises(RotationConflictError, match="mutated"):
+            db._remote.rotate_apply(
+                begin.response.rows, begin.response.row_ids, fence=begin.fence
+            )
+        # The refused apply left the column (and its epoch) intact:
+        # the sneaked-in row is still there.
+        assert catalog.epoch("values") == epoch_at_begin + 1
+        got = sorted(db.query(0, 99).values.tolist())
+        assert got == list(range(100))
+
+    def test_delete_between_begin_and_apply_is_fenced(self):
+        db = self._loopback_db()
+        catalog = db.transport.catalog
+        begin = db._remote.rotate_begin()
+        catalog.handle(DeleteRequest(column="values", row_ids=(0,)))
+        with pytest.raises(RotationConflictError):
+            db._remote.rotate_apply(
+                begin.response.rows, begin.response.row_ids, fence=begin.fence
+            )
+
+    def test_unfenced_apply_still_allowed(self):
+        """A legacy client that sends no fence keeps last-writer-wins
+        semantics (the pre-fence wire format is unchanged)."""
+        db = self._loopback_db()
+        catalog = db.transport.catalog
+        begin = db._remote.rotate_begin()
+        catalog.handle(DeleteRequest(column="values", row_ids=(0,)))
+        stored = db._remote.rotate_apply(
+            begin.response.rows, begin.response.row_ids, fence=None
+        )
+        assert stored == len(begin.response.row_ids)
+
+    def test_session_rotate_key_surfaces_conflict_and_recovers(self):
+        """End-to-end: a mutation racing ``rotate_key`` surfaces as
+        RotationConflictError, the session stays usable under the old
+        key, and calling ``rotate_key`` again succeeds."""
+        db = self._loopback_db()
+        catalog = db.transport.catalog
+        inner = db.transport
+
+        class RacingTransport(Transport):
+            """Injects an out-of-band delete between the session's
+            rotate_begin and rotate_apply, exactly once."""
+
+            def __init__(self):
+                self.fired = False
+
+            @property
+            def negotiated_codec(self):
+                return getattr(inner, "negotiated_codec", None)
+
+            @negotiated_codec.setter
+            def negotiated_codec(self, value):
+                inner.negotiated_codec = value
+
+            def exchange(self, frame, retryable=False):
+                if (
+                    not self.fired
+                    and decode_frame(frame).get("kind") == "rotate_apply"
+                ):
+                    self.fired = True
+                    catalog.handle(
+                        DeleteRequest(column="values", row_ids=(0,))
+                    )
+                return inner.exchange(frame, retryable=retryable)
+
+        db._remote._transport = RacingTransport()
+        old_key = db.client
+        with pytest.raises(RotationConflictError):
+            db.rotate_key(new_seed=77)
+        # The key switch never committed: both parties still speak the
+        # old key, so the session keeps answering correctly.
+        assert db.client is old_key
+        before_retry = sorted(db.query(0, 99).values.tolist())
+        # Retrying takes a fresh snapshot (which includes the racing
+        # delete) and succeeds.
+        db.rotate_key(new_seed=78)
+        assert db.client is not old_key
+        assert sorted(db.query(0, 99).values.tolist()) == before_retry
+
+
+# -- worker-pool front ---------------------------------------------------------
+
+
+class TestWorkerPool:
+    def test_busy_backpressure_when_queue_full(self):
+        catalog = GatedCatalog()
+        server = CatalogTCPServer(
+            ("127.0.0.1", 0), catalog, workers=1, queue_size=1
+        )
+        thread = start(server)
+        host, port = server.server_address
+        transports = []
+
+        def handle():
+            transport = TcpTransport(host, port)
+            transports.append(transport)
+            return RemoteColumn(transport, "values", codec="json")
+
+        try:
+            setup = TcpTransport(host, port)
+            transports.append(setup)
+            OutsourcedDatabase(
+                list(range(20)), seed=3, transport=setup, column="values",
+                codec="json",
+            )
+            catalog.gated_kinds = {"fetch_request"}
+            results = []
+
+            def fetch_one(h):
+                results.append(h.fetch([0]))
+
+            occupant = threading.Thread(target=fetch_one, args=(handle(),))
+            occupant.start()
+            assert catalog.entered.acquire(timeout=10)  # worker is parked
+            queued = threading.Thread(target=fetch_one, args=(handle(),))
+            queued.start()
+            deadline = time.monotonic() + 10
+            while server._queue.qsize() < 1:  # the one queue slot fills
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            # Worker busy + queue full: the next request is refused
+            # with a typed busy envelope, not dropped or queued.
+            with pytest.raises(ServerBusyError, match="queue full"):
+                handle().fetch([0])
+            assert catalog.obs.metrics.counter_value("net.busy_rejected") >= 1
+            catalog.gate.set()
+            occupant.join(timeout=10)
+            queued.join(timeout=10)
+            # Backpressure never lost the admitted requests.
+            assert len(results) == 2 and all(len(r) == 1 for r in results)
+        finally:
+            catalog.gate.set()
+            server.stop()
+            thread.join(timeout=5)
+            for transport in transports:
+                transport.close()
+
+    def test_drain_finishes_in_flight_and_refuses_late_frames(self):
+        catalog = GatedCatalog()
+        server = CatalogTCPServer(("127.0.0.1", 0), catalog, workers=2)
+        thread = start(server)
+        host, port = server.server_address
+        transports = []
+        try:
+            setup = TcpTransport(host, port)
+            transports.append(setup)
+            OutsourcedDatabase(
+                list(range(20)), seed=4, transport=setup, column="values",
+                codec="json",
+            )
+            bystander_transport = TcpTransport(host, port)
+            transports.append(bystander_transport)
+            bystander = RemoteColumn(
+                bystander_transport, "values", codec="json"
+            )
+            assert len(bystander.fetch([0])) == 1  # connection established
+            catalog.gated_kinds = {"fetch_request"}
+            in_flight_result = []
+            inflight_transport = TcpTransport(host, port)
+            transports.append(inflight_transport)
+            in_flight_handle = RemoteColumn(
+                inflight_transport, "values", codec="json"
+            )
+
+            def in_flight():
+                in_flight_result.append(in_flight_handle.fetch([1]))
+
+            worker = threading.Thread(target=in_flight)
+            worker.start()
+            assert catalog.entered.acquire(timeout=10)
+            stopper = threading.Thread(target=server.stop)
+            stopper.start()
+            deadline = time.monotonic() + 10
+            while not server._draining.is_set():
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            # A frame arriving during the drain gets a typed refusal.
+            with pytest.raises(ServerBusyError, match="draining"):
+                bystander.fetch([0])
+            # ... while the in-flight request still completes.
+            catalog.gate.set()
+            worker.join(timeout=10)
+            stopper.join(timeout=30)
+            assert in_flight_result and len(in_flight_result[0]) == 1
+            # The endpoint is really gone afterwards.
+            probe = TcpTransport(host, port, connect_timeout=2.0)
+            transports.append(probe)
+            with pytest.raises(TransportError):
+                probe.exchange(b"{}")
+        finally:
+            catalog.gate.set()
+            server.stop()
+            thread.join(timeout=5)
+            for transport in transports:
+                transport.close()
+
+    def test_many_sessions_through_small_pool(self):
+        """More concurrent sessions than workers: the bounded pool
+        serves them all correctly, one connection's frames strictly
+        serialized."""
+        server = serve(workers=3)
+        thread = start(server)
+        host, port = server.server_address
+        errors = []
+
+        def session(index):
+            values = [index * 10000 + v for v in range(120)]
+            try:
+                with TcpTransport(host, port) as transport:
+                    db = OutsourcedDatabase(
+                        values, seed=index, transport=transport,
+                        column="col-%d" % index,
+                    )
+                    low = index * 10000 + 10
+                    high = index * 10000 + 90
+                    got = sorted(db.query(low, high).values.tolist())
+                    assert got == list(range(low, high + 1))
+                    inserted = db.insert(index * 10000 + 5000)
+                    assert index * 10000 + 5000 in db.query(
+                        index * 10000 + 4999, index * 10000 + 5001
+                    ).values.tolist()
+                    db.delete(inserted)
+            except Exception as exc:  # surfaced after join
+                errors.append((index, exc))
+
+        try:
+            threads = [
+                threading.Thread(target=session, args=(i,)) for i in range(9)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not errors, errors
+        finally:
+            server.stop()
+            thread.join(timeout=5)
+
+    def test_stop_under_load_never_hangs_or_corrupts(self):
+        """Kill the endpoint while sessions are mid-workload: every
+        thread either gets correct answers or a typed error — never a
+        hang, never wrong data."""
+        server = serve(workers=4)
+        thread = start(server)
+        host, port = server.server_address
+        ready = threading.Semaphore(0)
+        unexpected = []
+        successes = [0] * 6
+
+        def session(index):
+            values = [index * 1000 + v for v in range(80)]
+            expected = sorted(values[:40])
+            try:
+                with TcpTransport(host, port) as transport:
+                    db = OutsourcedDatabase(
+                        values, seed=index, transport=transport,
+                        column="load-%d" % index,
+                    )
+                    for round_no in range(200):
+                        got = sorted(
+                            db.query(
+                                index * 1000, index * 1000 + 39
+                            ).values.tolist()
+                        )
+                        assert got == expected, "corrupt answer"
+                        successes[index] += 1
+                        if round_no == 1:
+                            ready.release()
+            except (TransportError, ServerBusyError):
+                pass  # the endpoint went away mid-workload: expected
+            except Exception as exc:
+                unexpected.append((index, exc))
+
+        threads = [
+            threading.Thread(target=session, args=(i,)) for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(6):
+                assert ready.acquire(timeout=60)
+            server.stop()
+        finally:
+            for t in threads:
+                t.join(timeout=60)
+        assert not unexpected, unexpected
+        assert all(count >= 2 for count in successes)
+        assert not any(t.is_alive() for t in threads)
+
+
+# -- reconnect, retry, renegotiation -------------------------------------------
+
+
+class TestReconnect:
+    def _endpoint(self):
+        server = serve()
+        thread = start(server)
+        return server, thread
+
+    def test_idempotent_query_retries_across_restart(self):
+        server, thread = self._endpoint()
+        host, port = server.server_address
+        transport = TcpTransport(host, port, retries=3, backoff=0.01)
+        db = OutsourcedDatabase(
+            list(range(60)), seed=5, transport=transport
+        )
+        expected = sorted(db.query(10, 40).values.tolist())
+        server.stop()
+        thread.join(timeout=5)
+        revived = CatalogTCPServer((host, port), server.catalog)
+        revived_thread = start(revived)
+        try:
+            # The old connection is dead; the retryable query reconnects
+            # (renegotiating the codec) and succeeds transparently.
+            assert sorted(db.query(10, 40).values.tolist()) == expected
+            assert transport.retry_count >= 1
+            assert db.obs.metrics.counter_value("net.retries") >= 1
+        finally:
+            revived.stop()
+            revived_thread.join(timeout=5)
+            transport.close()
+
+    def test_mutations_are_never_auto_retried(self):
+        server, thread = self._endpoint()
+        host, port = server.server_address
+        transport = TcpTransport(host, port, retries=3, backoff=0.01)
+        db = OutsourcedDatabase(
+            list(range(30)), seed=6, transport=transport
+        )
+        server.stop()
+        thread.join(timeout=5)
+        before = transport.retry_count
+        started = time.monotonic()
+        with pytest.raises(TransportError):
+            db.insert(4242)
+        # No reconnect attempts were burned on the mutation: its
+        # server-side effect would be unknown after a lost response.
+        assert transport.retry_count == before
+        assert time.monotonic() - started < 2.0
+        transport.close()
+
+    def test_close_clears_negotiated_codec(self):
+        server, thread = self._endpoint()
+        host, port = server.server_address
+        transport = TcpTransport(host, port)
+        try:
+            OutsourcedDatabase(list(range(10)), seed=7, transport=transport)
+            assert transport.negotiated_codec == "binary"
+            transport.close()
+            assert transport.negotiated_codec is None
+        finally:
+            server.stop()
+            thread.join(timeout=5)
+
+    def test_reconnect_downgrades_to_json_only_peer(self):
+        """Restart the endpoint as an old JSON-only peer: the client
+        renegotiates from scratch instead of shipping binary frames the
+        restarted server cannot parse."""
+        server, thread = self._endpoint()
+        host, port = server.server_address
+        transport = TcpTransport(host, port, retries=2, backoff=0.01)
+        db = OutsourcedDatabase(list(range(50)), seed=8, transport=transport)
+        expected = sorted(db.query(5, 30).values.tolist())
+        assert transport.negotiated_codec == "binary"
+        server.stop()
+        thread.join(timeout=5)
+        # With no endpoint at all, the query fails — and the connection
+        # loss clears the transport's codec cache.
+        with pytest.raises(TransportError):
+            db.query(5, 30)
+        assert transport.negotiated_codec is None
+        peer = _JsonOnlyPeer((host, port), server.catalog)
+        peer.start()
+        try:
+            assert sorted(db.query(5, 30).values.tolist()) == expected
+            assert transport.negotiated_codec == "json"
+            assert peer.hello_rejections == 1
+            assert peer.binary_frames == 0  # never shipped binary
+        finally:
+            peer.stop()
+            transport.close()
+
+
+class _JsonOnlyPeer:
+    """A minimal pre-hello endpoint: rejects codec negotiation with an
+    error envelope and only ever speaks JSON frames."""
+
+    def __init__(self, address, catalog):
+        self.catalog = catalog
+        self.hello_rejections = 0
+        self.binary_frames = 0
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(address)
+        self.listener.listen(4)
+        self._threads = []
+
+    def start(self):
+        accepter = threading.Thread(target=self._accept_loop, daemon=True)
+        accepter.start()
+        self._threads.append(accepter)
+
+    def _accept_loop(self):
+        while True:
+            try:
+                sock, _ = self.listener.accept()
+            except OSError:
+                return
+            worker = threading.Thread(
+                target=self._serve, args=(sock,), daemon=True
+            )
+            worker.start()
+            self._threads.append(worker)
+
+    def _serve(self, sock):
+        try:
+            while True:
+                header = self._recv(sock, LENGTH_PREFIX.size)
+                if header is None:
+                    return
+                (length,) = LENGTH_PREFIX.unpack(header)
+                payload = self._recv(sock, length)
+                if payload is None:
+                    return
+                if not payload.startswith(b"{"):
+                    self.binary_frames += 1
+                    response = ErrorResponse(
+                        code="serialization", message="cannot parse frame"
+                    )
+                    reply = encode_frame(
+                        response_to_dict(response), codec="json"
+                    )
+                elif decode_frame(payload).get("kind") == "hello":
+                    self.hello_rejections += 1
+                    response = ErrorResponse(
+                        code="protocol", message="unknown kind: hello"
+                    )
+                    reply = encode_frame(
+                        response_to_dict(response), codec="json"
+                    )
+                else:
+                    reply = encode_frame(
+                        self.catalog.dispatch(decode_frame(payload)),
+                        codec="json",
+                    )
+                sock.sendall(LENGTH_PREFIX.pack(len(reply)) + reply)
+        except OSError:
+            return
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _recv(sock, count):
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = sock.recv(remaining)
+            except OSError:
+                return None
+            if not chunk:
+                return None
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def stop(self):
+        try:
+            self.listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.listener.close()

@@ -174,6 +174,7 @@ REQUEST_MAKERS = {
         column=make_column(rng),
         rows=make_rows(rng),
         row_ids=make_ids(rng),
+        fence=rng.choice((None, 0, 7, 2 ** 40)),
     ),
 }
 
@@ -194,7 +195,8 @@ RESPONSE_MAKERS = {
     ),
     MergeResponse: lambda rng: MergeResponse(delta=-rng.choice(BOUNDARY_IDS)),
     RotateBeginResponse: lambda rng: RotateBeginResponse(
-        response=make_server_response(rng)
+        response=make_server_response(rng),
+        fence=rng.choice((None, 1, 2 ** 33)),
     ),
     RotateApplyResponse: lambda rng: RotateApplyResponse(
         rows_stored=rng.choice(BOUNDARY_IDS)
@@ -414,9 +416,18 @@ class RecordingTransport(Transport):
         self.sent = []
         self.received = []
 
-    def exchange(self, frame):
+    @property
+    def negotiated_codec(self):
+        return getattr(self.inner, "negotiated_codec", None)
+
+    @negotiated_codec.setter
+    def negotiated_codec(self, value):
+        if self.inner is not None:
+            self.inner.negotiated_codec = value
+
+    def exchange(self, frame, retryable=False):
         self.sent.append(frame)
-        reply = self.inner.exchange(frame)
+        reply = self.inner.exchange(frame, retryable=retryable)
         self.received.append(reply)
         return reply
 

@@ -44,9 +44,18 @@ class RecordingTransport(Transport):
         self.sent = []
         self.received = []
 
-    def exchange(self, frame):
+    @property
+    def negotiated_codec(self):
+        return getattr(self.inner, "negotiated_codec", None)
+
+    @negotiated_codec.setter
+    def negotiated_codec(self, value):
+        if self.inner is not None:
+            self.inner.negotiated_codec = value
+
+    def exchange(self, frame, retryable=False):
         self.sent.append(frame)
-        reply = self.inner.exchange(frame)
+        reply = self.inner.exchange(frame, retryable=retryable)
         self.received.append(reply)
         return reply
 
