@@ -37,8 +37,16 @@ if _SRC not in sys.path:
 import numpy as np
 
 from repro.bench.reporting import RESULTS_DIR
+from repro.core.client import TrustedClient
 from repro.core.session import OutsourcedDatabase
-from repro.net import TcpTransport, ThreadPerConnectionServer, serve
+from repro.crypto.key import generate_key
+from repro.net import (
+    RemoteColumn,
+    ShardedRemoteColumn,
+    TcpTransport,
+    ThreadPerConnectionServer,
+    serve,
+)
 from repro.workloads.generators import random_workload
 
 SMOKE = os.environ.get("REPRO_BENCH_FAST") == "1"
@@ -48,6 +56,12 @@ BATCH_SIZE = 16
 
 #: Concurrent-connection counts for the server-front matrix.
 CONNECTION_MATRIX = (1, 4, 16)
+
+#: Shard count for the hot-column scatter-gather matrix.
+SHARDS = 4
+
+#: Connections hammering the one hot column.
+HOT_CONNECTIONS = 16
 
 
 def run_transport(
@@ -236,6 +250,114 @@ def bench_concurrency(ops: int) -> dict:
     return out
 
 
+def _hot_column_rps(
+    shards: int, connections: int, ops: int, rows, row_ids, queries
+) -> float:
+    """Aggregate queries/sec for N connections hammering ONE column.
+
+    This is the scenario sharding exists for: every connection targets
+    the same logical column, so an unsharded column serializes the
+    whole matrix on one per-column lock while a sharded one runs each
+    query as a parallel scatter-gather over ``shards`` independent
+    locks (and each shard's scan kernel covers ``1/shards`` of the
+    rows).  The column uses the scan engine so the per-query work is
+    fixed and lock-bound, not cracking-order-dependent.
+    """
+    server = serve(workers=connections)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address
+    transports = []
+
+    def connect():
+        transport = TcpTransport(host, port)
+        transports.append(transport)
+        # JSON frames: the C codec minimizes GIL-held Python per
+        # exchange, so the matrix measures lock/kernel parallelism
+        # rather than frame-encode contention.
+        if shards > 1:
+            return ShardedRemoteColumn(
+                transport, "hot", shards=shards, codec="json"
+            )
+        return RemoteColumn(transport, "hot", codec="json")
+
+    try:
+        creator = connect()
+        creator.create(
+            rows, row_ids, {"engine": "scan", "record_stats": False}
+        )
+        handles = [connect() for _ in range(connections)]
+        barrier = threading.Barrier(connections + 1)
+        errors = []
+
+        def worker(offset, handle):
+            try:
+                barrier.wait()
+                for step in range(ops):
+                    handle.query(queries[(offset + step) % len(queries)])
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        workers = [
+            threading.Thread(target=worker, args=(i, h), daemon=True)
+            for i, h in enumerate(handles)
+        ]
+        for w in workers:
+            w.start()
+        barrier.wait()
+        tick = time.perf_counter()
+        for w in workers:
+            w.join()
+        wall = time.perf_counter() - tick
+        assert not errors, errors
+        return connections * ops / wall
+    finally:
+        for transport in transports:
+            transport.close()
+        server.stop()
+        thread.join(timeout=5)
+
+
+def bench_sharded(size: int, ops: int) -> dict:
+    """Hot-column matrix: one logical column under 16 connections,
+    single vs ``SHARDS``-way scatter-gather.
+
+    The column is sized and keyed so the scan sits on the int64 kernel
+    tier (``mirror @ vector`` — C code that releases the GIL): a
+    small-magnitude key plus a bounded value domain keeps the overflow
+    proof satisfied, so per-query work is dominated by a genuinely
+    parallelizable kernel rather than big-int Python arithmetic, and
+    the scatter-gather speedup is observable wherever the machine has
+    the cores to run shard scans concurrently.
+    """
+    rng = np.random.default_rng(59)
+    domain = 4096  # bounded values keep the int64 overflow proof true
+    values = [int(v) % domain for v in rng.permutation(size)]
+    key = generate_key(length=4, seed=67, u_magnitude=2)
+    client = TrustedClient(key=key, seed=67)
+    rows, row_ids = client.encrypt_dataset(values)
+    span = max(1, domain // 500)
+    queries = [
+        client.make_query(int(low), int(low) + span)
+        for low in rng.integers(0, domain - span, 64)
+    ]
+    out = {
+        "size": size,
+        "ops_per_connection": ops,
+        "cpus": os.cpu_count() or 1,
+        "single": _hot_column_rps(
+            1, HOT_CONNECTIONS, ops, rows, row_ids, queries
+        ),
+        "sharded_%d" % SHARDS: _hot_column_rps(
+            SHARDS, HOT_CONNECTIONS, ops, rows, row_ids, queries
+        ),
+    }
+    out["sharded_vs_single_16"] = _ratio(
+        out["sharded_%d" % SHARDS], out["single"]
+    )
+    return out
+
+
 def _ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator if denominator else 0.0
 
@@ -246,6 +368,11 @@ def main(smoke: bool = SMOKE, output: str = None) -> dict:
     else:
         result = bench(size=8_000, query_count=128)
     result["concurrency"] = bench_concurrency(ops=40 if smoke else 200)
+    result["sharded"] = (
+        bench_sharded(size=256_000, ops=8)
+        if smoke
+        else bench_sharded(size=384_000, ops=16)
+    )
     report = {
         "benchmark": "transport",
         "mode": "smoke" if smoke else "full",
@@ -287,6 +414,19 @@ def main(smoke: bool = SMOKE, output: str = None) -> dict:
         )
     print("pool vs baseline @16: %.2fx"
           % concurrency["pool_vs_baseline_16"])
+    sharded = report["sharded"]
+    print(
+        "hot column @%d conns:  single %7.0f q/s  %d shards %7.0f q/s "
+        "(%.2fx, %d cpus)"
+        % (
+            HOT_CONNECTIONS,
+            sharded["single"],
+            SHARDS,
+            sharded["sharded_%d" % SHARDS],
+            sharded["sharded_vs_single_16"],
+            os.cpu_count() or 1,
+        )
+    )
     print("wrote %s" % output)
     return report
 
@@ -320,6 +460,20 @@ def test_transport_bench():
         for connections in CONNECTION_MATRIX:
             assert concurrency[front][str(connections)] > 0
     assert concurrency["pool_vs_baseline_16"] >= 0.75
+    # ISSUE acceptance: a 4-shard column beats the single hot column by
+    # >= 1.5x at 16 connections.  The speedup comes from genuine
+    # parallelism (4 shard locks, scan kernels releasing the GIL), so
+    # it is physically unobservable on a 1-2 core box — the hard gate
+    # applies where the parallelism exists (>= 4 CPUs) and always under
+    # CI's REPRO_REQUIRE_SHARD_SPEEDUP=1.
+    sharded = report["sharded"]
+    assert sharded["single"] > 0
+    assert sharded["sharded_%d" % SHARDS] > 0
+    if (
+        os.environ.get("REPRO_REQUIRE_SHARD_SPEEDUP") == "1"
+        or (os.cpu_count() or 1) >= 4
+    ):
+        assert sharded["sharded_vs_single_16"] >= 1.5, sharded
 
 
 if __name__ == "__main__":

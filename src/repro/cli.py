@@ -128,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="request-queue bound before `busy` backpressure "
              "(default: 2x workers)",
     )
+    serve.add_argument(
+        "--batch-workers", type=int, default=8,
+        help="threads executing one batch's multi-column sub-requests "
+             "concurrently (sharded scatter-gather; 0 or 1 disables, "
+             "default 8)",
+    )
 
     keygen = commands.add_parser("keygen", help="generate a secret key")
     keygen.add_argument("--length", type=int, default=4)
@@ -230,6 +236,12 @@ def _add_workload_args(parser) -> None:
         help="pipeline trace queries N at a time in one batched round "
              "trip each (--workload only; default 1 = unbatched)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="spread the column over N catalog shards; each query fans "
+             "out as one parallel batch and every shard cracks "
+             "independently (default 0 = unsharded)",
+    )
 
 
 def _make_transport(args):
@@ -253,9 +265,16 @@ def _build_db(args, obs=None) -> OutsourcedDatabase:
         obs=obs, transport=transport,
         column=getattr(args, "column", "values"),
         codec=getattr(args, "codec", "auto"),
+        shards=getattr(args, "shards", 0) or 0,
     )
     where = " to %s" % args.connect if getattr(args, "connect", None) else ""
-    print("outsourced %d values from %s%s" % (len(values), args.file, where))
+    sharded = (
+        " across %d shards" % db.shard_count if db.shard_count else ""
+    )
+    print(
+        "outsourced %d values from %s%s%s"
+        % (len(values), args.file, where, sharded)
+    )
     return db
 
 
@@ -376,9 +395,11 @@ def _run_sql(args) -> int:
 
 
 def _run_serve(args) -> int:
-    from repro.net import serve as bind_endpoint
+    from repro.net import ColumnCatalog, serve as bind_endpoint
 
+    catalog = ColumnCatalog(batch_workers=args.batch_workers)
     endpoint = bind_endpoint(
+        catalog=catalog,
         host=args.host,
         port=args.port,
         workers=args.workers,

@@ -18,9 +18,17 @@ are exactly as confidential as the server's RAM (i.e. safe to hold at
 the honest-but-curious server, revealing nothing beyond what query
 processing already revealed).
 
-Version history: version 1 omitted ``bytes_shipped`` and
-``record_stats``; version 2 adds both.  Version-1 snapshots restore
-with the old defaults (zero bytes shipped, stats recording on).
+Version history (server snapshots): version 1 omitted
+``bytes_shipped`` and ``record_stats``; version 2 adds both.
+Version-1 snapshots restore with the old defaults (zero bytes shipped,
+stats recording on).
+
+Catalog snapshots version independently: catalog version 1 carried
+only the column map; version 2 adds the ``shards`` registry (logical
+sharded columns — geometry plus ordered shard column names), so a
+restored endpoint keeps validating shard consistency and re-exports
+the ``catalog.shards`` gauge.  Version-1 catalog snapshots restore
+with an empty registry.
 """
 
 from __future__ import annotations
@@ -31,17 +39,20 @@ from repro.core.query import EncryptedBound, EncryptedBoundKey
 from repro.core.server import SecureServer
 from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
 from repro.crypto.serialization import ciphertext_from_dict, ciphertext_to_dict
-from repro.errors import SerializationError
+from repro.errors import SerializationError, UpdateError
 from repro.net.catalog import ColumnCatalog
 from repro.obs import Observability
 from repro.store.updates import PendingUpdates
 
 SNAPSHOT_VERSION = 2
-CATALOG_SNAPSHOT_VERSION = 1
+CATALOG_SNAPSHOT_VERSION = 2
 
 #: Snapshot versions the read path accepts (older ones restore with
 #: documented defaults for the fields they predate).
 SUPPORTED_VERSIONS = (1, 2)
+
+#: Catalog snapshot versions the read path accepts.
+SUPPORTED_CATALOG_VERSIONS = (1, 2)
 
 
 def snapshot_server(server: SecureServer) -> Dict[str, Any]:
@@ -157,7 +168,8 @@ def restore_server(
 
 
 def snapshot_catalog(catalog: ColumnCatalog) -> Dict[str, Any]:
-    """Serialize every column of an endpoint's catalog."""
+    """Serialize every column of an endpoint's catalog, plus the
+    logical-shard registry grouping shard columns back together."""
     columns = {}
     for name in catalog.column_names:
         columns[name] = {
@@ -168,6 +180,7 @@ def snapshot_catalog(catalog: ColumnCatalog) -> Dict[str, Any]:
         "kind": "column_catalog",
         "version": CATALOG_SNAPSHOT_VERSION,
         "columns": columns,
+        "shards": catalog.shards(),
     }
 
 
@@ -183,7 +196,7 @@ def restore_catalog(
         raise SerializationError(
             "expected a column_catalog snapshot, got %r" % snapshot.get("kind")
         )
-    if snapshot.get("version") != CATALOG_SNAPSHOT_VERSION:
+    if snapshot.get("version") not in SUPPORTED_CATALOG_VERSIONS:
         raise SerializationError(
             "unsupported catalog snapshot version: %r"
             % snapshot.get("version")
@@ -205,4 +218,45 @@ def restore_catalog(
         catalog.adopt_column(
             name, restore_server(server_snapshot, obs=catalog.obs), config
         )
+    # Version-1 snapshots predate the registry: empty is correct.
+    shards = snapshot.get("shards", {})
+    if not isinstance(shards, dict):
+        raise SerializationError("catalog snapshot shards must be an object")
+    for logical, meta in sorted(shards.items()):
+        try:
+            count = int(meta["count"])
+            per_value = int(meta.get("physical_per_value", 1))
+            shard_columns = list(meta["columns"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SerializationError(
+                "malformed shard registry entry %r: %s" % (logical, exc)
+            ) from exc
+        if len(shard_columns) != count:
+            raise SerializationError(
+                "shard registry entry %r lists %d columns for count %d"
+                % (logical, len(shard_columns), count)
+            )
+        for index, column_name in enumerate(shard_columns):
+            if column_name is None:
+                continue
+            if column_name not in columns:
+                raise SerializationError(
+                    "shard registry entry %r references missing column %r"
+                    % (logical, column_name)
+                )
+            try:
+                catalog.register_shard(
+                    column_name,
+                    {
+                        "of": logical,
+                        "index": index,
+                        "count": count,
+                        "physical_per_value": per_value,
+                    },
+                )
+            except UpdateError as exc:
+                raise SerializationError(
+                    "inconsistent shard registry entry %r: %s"
+                    % (logical, exc)
+                ) from exc
     return catalog

@@ -36,6 +36,7 @@ from repro.crypto.key import SecretKey
 from repro.errors import ProtocolError, QueryError, UpdateError
 from repro.net.catalog import ColumnCatalog
 from repro.net.client import RemoteColumn
+from repro.net.shard import ShardedRemoteColumn
 from repro.net.transport import LoopbackTransport, Transport
 from repro.obs import Observability
 
@@ -67,6 +68,13 @@ class OutsourcedDatabase:
             compact binary codec with the endpoint and falls back to
             JSON against old peers; ``"json"`` / ``"binary"`` force
             one.
+        shards: ``0`` (default) registers one catalog column; ``N >= 1``
+            spreads the column over N catalog shards behind a
+            :class:`~repro.net.shard.ShardedRemoteColumn` — every query
+            fans out as one parallel batch and each shard cracks
+            independently under its own lock.  ``shards=1`` is the
+            sharded machinery with identity routing (byte-identical
+            results to an unsharded column).
         min_piece_size / use_three_way / use_paper_tree_algorithms /
             record_stats: forwarded to the server engine.
     """
@@ -91,6 +99,7 @@ class OutsourcedDatabase:
         transport: Transport = None,
         column: str = "values",
         codec: str = "auto",
+        shards: int = 0,
     ) -> None:
         values = [int(v) for v in values]
         if jitter_pivots and engine != "adaptive":
@@ -131,7 +140,22 @@ class OutsourcedDatabase:
             self._catalog = None
         self._transport = transport
         self._column_name = column
-        self._remote = RemoteColumn(transport, column, obs=self._obs, codec=codec)
+        self._shards = int(shards)
+        if self._shards < 0:
+            raise UpdateError("shard count must be >= 0")
+        if self._shards:
+            self._remote = ShardedRemoteColumn(
+                transport,
+                column,
+                shards=self._shards,
+                physical_per_value=2 if ambiguity else 1,
+                obs=self._obs,
+                codec=codec,
+            )
+        else:
+            self._remote = RemoteColumn(
+                transport, column, obs=self._obs, codec=codec
+            )
         self._remote.create(rows, row_ids, self._server_config)
         self._jitter_pivots = int(jitter_pivots)
         if pivot_domain is None and values:
@@ -171,6 +195,11 @@ class OutsourcedDatabase:
         return self._transport
 
     @property
+    def shard_count(self) -> int:
+        """Number of catalog shards behind this session (0 = unsharded)."""
+        return self._shards
+
+    @property
     def server(self):
         """The in-process :class:`~repro.core.server.SecureServer`.
 
@@ -184,7 +213,26 @@ class OutsourcedDatabase:
                 "session is connected over a remote transport; "
                 "server state is not locally reachable"
             )
+        if self._shards:
+            raise ProtocolError(
+                "a sharded session has no single server; "
+                "use shard_servers()"
+            )
         return self._catalog.server(self._column_name)
+
+    def shard_servers(self):
+        """The in-process engines behind each shard, in shard order
+        (loopback sessions only — same restriction as :attr:`server`)."""
+        if self._catalog is None:
+            raise ProtocolError(
+                "session is connected over a remote transport; "
+                "server state is not locally reachable"
+            )
+        if not self._shards:
+            return [self._catalog.server(self._column_name)]
+        return [
+            self._catalog.server(name) for name in self._remote.shard_names
+        ]
 
     @server.setter
     def server(self, new_server) -> None:
@@ -310,7 +358,12 @@ class OutsourcedDatabase:
     def insert(self, value: int) -> int:
         """Encrypt and insert a new value; returns its logical id."""
         rows = self.client.encrypt_value(int(value))
-        physical_ids = self._remote.insert(rows)
+        if self._shards:
+            # The plaintext key hint routes the insert to its shard;
+            # only the trusted client side ever sees it.
+            physical_ids = self._remote.insert(rows, key_hint=int(value))
+        else:
+            physical_ids = self._remote.insert(rows)
         self._account_exchange()
         logical_id = self._logical_count
         self._logical_count += 1
@@ -363,7 +416,15 @@ class OutsourcedDatabase:
         :attr:`round_trips` / :attr:`client_stats` / :attr:`bytes_sent`,
         which account the observed workload only (the ``net.*``
         counters still see the maintenance frames).
+
+        A sharded session rotates shard by shard instead (see
+        :meth:`_rotate_key_sharded`): ids are *preserved* rather than
+        compacted — each shard's rebuild must stay self-contained — so
+        the returned mapping is the identity over live ids, and a fence
+        conflict retries only the conflicting shard.
         """
+        if self._shards:
+            return self._rotate_key_sharded(new_seed)
         self._obs.metrics.add("session.key_rotations")
         begin = self._remote.rotate_begin()
         response = begin.response
@@ -393,6 +454,54 @@ class OutsourcedDatabase:
         self._inserted_physical_to_logical = {}
         self._logical_to_physical = {}
         return mapping
+
+    def _rotate_key_sharded(self, new_seed: int = None) -> Dict[int, int]:
+        """Shard-by-shard key rotation, each shard under its own fence.
+
+        Unlike the unsharded path, logical ids are *not* compacted:
+        every re-encrypted row keeps its physical id, so each shard's
+        rotation is fully self-contained and a conflict on one shard
+        (a concurrent insert or delete that bumped its epoch) retries
+        that shard alone while the others' rebuilds stand.  The id
+        bookkeeping (insert maps, logical count) therefore survives
+        unchanged, and the returned mapping is the identity over the
+        ids seen live during the rotation.
+        """
+        self._obs.metrics.add("session.key_rotations")
+        old_client = self.client
+        new_client = TrustedClient(
+            key=None,
+            seed=new_seed,
+            ambiguity=old_client.ambiguity,
+            key_length=old_client.key.length,
+            fake_domain=old_client.fake_domain,
+        )
+        live: set = set()
+
+        def reencrypt(global_ids, rows):
+            # Decrypt this shard's live rows under the old key, then
+            # re-encrypt each logical value under the new key onto the
+            # *same* physical ids (ambiguity pairs included: the fresh
+            # pair lands on the pair's original two ids).
+            result = old_client.decrypt_results(
+                global_ids, rows, id_mapper=self._map_physical_id
+            )
+            new_rows: List = []
+            new_ids: List[int] = []
+            for logical_id, value in zip(result.logical_ids, result.values):
+                logical_id, value = int(logical_id), int(value)
+                live.add(logical_id)
+                physicals = self._physical_ids_of(logical_id)
+                for offset, row in enumerate(new_client.encrypt_value(value)):
+                    new_rows.append(row)
+                    new_ids.append(physicals[offset])
+            return new_rows, new_ids
+
+        self._remote.rotate_shards(reencrypt)
+        # As in the unsharded path, the key switch commits only after
+        # every shard accepted its rebuild.
+        self.client = new_client
+        return {logical_id: logical_id for logical_id in sorted(live)}
 
     # -- internals --------------------------------------------------------------------
 

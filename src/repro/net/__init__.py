@@ -24,7 +24,10 @@ mechanical.  It has three layers:
   bounded queue, ``busy`` backpressure, graceful drain).
 
 :class:`~repro.net.client.RemoteColumn` is the client-side handle
-sessions hold instead of a server reference.  Wire details are
+sessions hold instead of a server reference;
+:class:`~repro.net.shard.ShardedRemoteColumn` is its scatter-gather
+sibling, spreading one logical column over N catalog columns and
+fanning every operation out as one parallel batch.  Wire details are
 documented in ``docs/protocol.md``.
 """
 
@@ -58,6 +61,7 @@ from repro.net.server import (
     ThreadPerConnectionServer,
     serve,
 )
+from repro.net.shard import ShardedRemoteColumn, shard_column_names
 from repro.net.transport import (
     LoopbackTransport,
     TcpTransport,
@@ -76,6 +80,7 @@ __all__ = [
     "LoopbackTransport",
     "PROTOCOL_VERSION",
     "RemoteColumn",
+    "ShardedRemoteColumn",
     "TcpTransport",
     "ThreadPerConnectionServer",
     "Transport",
@@ -90,4 +95,5 @@ __all__ = [
     "response_from_dict",
     "response_to_dict",
     "serve",
+    "shard_column_names",
 ]

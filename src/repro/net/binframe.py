@@ -22,8 +22,10 @@ Frame layout::
              | 0x07 varint(index)                    # string back-ref
              | 0x08 varint(count) value*             # list
              | 0x09 varint(count) (string value)*    # dict, keys sorted
+             | 0x0A width_code(1B) varint(count)     # homogeneous int
+               payload                               #   array fast path
 
-Two properties do the heavy lifting:
+Three properties do the heavy lifting:
 
 * **Sign + magnitude big ints** — a ciphertext numerator ships as its
   minimal big-endian byte string (8 bits per byte instead of ~3.3 bits
@@ -32,6 +34,13 @@ Two properties do the heavy lifting:
   writes its bytes; every repeat is a 2-3 byte back-reference.  The
   per-row field names (``numerators``, ``denominator``, ``kind``, ...)
   that dominate JSON's structural overhead collapse to references.
+* **Int-array fast path (tag 0x0A)** — a list of 4+ plain ints whose
+  range fits a fixed signed width (1/2/4/8 bytes, picked per array)
+  ships as one ``struct``-packed big-endian block instead of per-value
+  tag dispatch.  Row-id arrays — the longest flat lists on the wire —
+  encode and decode in a single C call each, which is what closes the
+  CPU gap the byte savings alone could not (the per-value Python loop
+  used to cost more than JSON's optimized C encoder saved).
 
 Encoding is a pure function of the envelope dict (keys sorted, intern
 table in deterministic encounter order), so binary frames are
@@ -74,8 +83,22 @@ _TAG_STR = 0x06
 _TAG_STRREF = 0x07
 _TAG_LIST = 0x08
 _TAG_DICT = 0x09
+_TAG_INTARRAY = 0x0A
 
 _FLOAT64 = struct.Struct(">d")
+
+#: Int-array width codes: code -> (byte width, struct format char,
+#: inclusive signed bound).  Width is picked per array from its range.
+_INTARRAY_WIDTHS = (
+    (1, "b", 1 << 7),
+    (2, "h", 1 << 15),
+    (4, "i", 1 << 31),
+    (8, "q", 1 << 63),
+)
+
+#: Shortest list worth the fast path; below this the per-value tags are
+#: as compact and the range scan is pure overhead.
+_INTARRAY_MIN_LEN = 4
 
 #: ints with |v| below this encode as zigzag varints; larger ones as
 #: sign + magnitude bytes.
@@ -106,6 +129,29 @@ def _write_varint(out: bytearray, value: int) -> None:
         else:
             out.append(byte)
             return
+
+
+def _write_intarray(out: bytearray, value: Any) -> bool:
+    """Write ``value`` as a struct-packed int array if eligible.
+
+    Eligible means every element is a plain ``int`` (bools are a
+    subclass and are excluded — they must round-trip as bools) and the
+    range fits one of the fixed signed widths.  Returns False without
+    touching ``out`` when the generic list encoding must be used, e.g.
+    for arrays containing ints beyond 64 bits.
+    """
+    if not all(type(item) is int for item in value):
+        return False
+    lo = min(value)
+    hi = max(value)
+    for code, (width, fmt, bound) in enumerate(_INTARRAY_WIDTHS):
+        if -bound <= lo and hi < bound:
+            out.append(_TAG_INTARRAY)
+            out.append(code)
+            _write_varint(out, len(value))
+            out.extend(struct.pack(">%d%s" % (len(value), fmt), *value))
+            return True
+    return False
 
 
 def _write_value(out: bytearray, value: Any, interned: Dict[str, int],
@@ -144,6 +190,8 @@ def _write_value(out: bytearray, value: Any, interned: Dict[str, int],
             _write_varint(out, len(payload))
             out.extend(payload)
     elif isinstance(value, (list, tuple)):
+        if len(value) >= _INTARRAY_MIN_LEN and _write_intarray(out, value):
+            return
         out.append(_TAG_LIST)
         _write_varint(out, len(value))
         for item in value:
@@ -275,6 +323,20 @@ def _read_value(reader: _Reader, depth: int) -> Any:
                 "list count %d exceeds remaining frame bytes" % count
             )
         return [_read_value(reader, depth + 1) for _ in range(count)]
+    if tag == _TAG_INTARRAY:
+        code = reader.byte()
+        if code >= len(_INTARRAY_WIDTHS):
+            raise SerializationError(
+                "invalid int-array width code: %d" % code
+            )
+        width, fmt, _bound = _INTARRAY_WIDTHS[code]
+        count = reader.varint()
+        if count * width > reader.remaining:
+            raise SerializationError(
+                "int-array count %d exceeds remaining frame bytes" % count
+            )
+        payload = reader.take(count * width)
+        return list(struct.unpack(">%d%s" % (count, fmt), payload))
     if tag == _TAG_DICT:
         count = reader.varint()
         if 2 * count > reader.remaining:  # every entry costs >= 2 bytes

@@ -18,11 +18,24 @@ so one bad client cannot take down a serving thread.
 Columns are independently locked: concurrent sessions on different
 columns proceed in parallel and never interleave engine state, while
 requests against one column serialize (cracking mutates the column).
+A ``batch_request`` whose sub-requests target *distinct* columns is
+executed concurrently on a small per-catalog pool (sub-requests for
+the same column keep their slot order) — the server half of the
+scatter-gather fan-out that :class:`~repro.net.shard.ShardedRemoteColumn`
+performs on the client side.
+
+The catalog also records *shard metadata*: a column created with a
+``shard`` descriptor (``{"of": logical, "index": i, "count": n,
+"physical_per_value": p}``) is one slice of a logical sharded column.
+The catalog validates that sibling shards agree on the geometry and
+exposes the registry to persistence so snapshots restore the logical
+grouping.
 """
 
 from __future__ import annotations
 
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.query import EncryptedQuery
@@ -73,9 +86,14 @@ class ColumnCatalog:
         obs: shared observability bundle; every hosted engine reports
             into it (one registry per endpoint).  A private bundle is
             created when omitted.
+        batch_workers: size of the pool that executes multi-column
+            batches concurrently.  The pool is created lazily on the
+            first batch that actually spans columns, so plain loopback
+            sessions never spawn a thread; ``<= 1`` disables parallel
+            batches entirely.
     """
 
-    def __init__(self, obs: Observability = None) -> None:
+    def __init__(self, obs: Observability = None, batch_workers: int = 8) -> None:
         self._obs = obs if obs is not None else Observability()
         self._registry_lock = threading.Lock()
         self._servers: Dict[str, SecureServer] = {}
@@ -87,6 +105,13 @@ class ColumnCatalog:
         # ``rotate_begin`` so a rebuild can never erase concurrent
         # writes.
         self._epochs: Dict[str, int] = {}
+        # Logical sharded columns: logical name -> {"count", \
+        # "physical_per_value", "columns": [shard column names]}.
+        self._shards: Dict[str, Dict[str, Any]] = {}
+        self._batch_workers = max(0, int(batch_workers))
+        self._pool_lock = threading.Lock()
+        self._batch_pool: Optional[ThreadPoolExecutor] = None
+        self._closed = False
 
     @property
     def obs(self) -> Observability:
@@ -111,16 +136,19 @@ class ColumnCatalog:
         rows: Sequence,
         row_ids: Optional[Sequence[int]] = None,
         config: Dict[str, Any] = None,
+        shard: Dict[str, Any] = None,
     ) -> SecureServer:
         """Create a named column from uploaded ciphertext rows.
 
         ``config`` takes the :class:`SecureServer` engine knobs (see
         :data:`~repro.net.protocol.CONFIG_DEFAULTS`); the catalog keeps
         it so key rotation can rebuild the engine with every knob
-        intact.
+        intact.  ``shard`` optionally declares this column one slice of
+        a logical sharded column (see :meth:`register_shard`).
 
         Raises:
-            UpdateError: empty name or duplicate column.
+            UpdateError: empty name, duplicate column, or inconsistent
+                shard metadata.
         """
         if not name:
             raise UpdateError("column name must be non-empty")
@@ -131,6 +159,8 @@ class ColumnCatalog:
             raise UpdateError(
                 "unknown column config keys: %s" % ", ".join(sorted(unknown))
             )
+        if shard is not None:
+            self._check_shard(shard)
         server = SecureServer(list(rows), row_ids, obs=self._obs, **merged)
         with self._registry_lock:
             if name in self._servers:
@@ -140,14 +170,28 @@ class ColumnCatalog:
             self._locks[name] = threading.Lock()
             self._epochs[name] = 0
         self._obs.metrics.add("net.columns_created")
+        if shard is not None:
+            try:
+                self.register_shard(name, shard)
+            except UpdateError:
+                # Shard registration is part of creation: a geometry
+                # mismatch must not leave a half-registered column.
+                self._forget_column(name)
+                raise
         return server
 
     def adopt_column(
-        self, name: str, server: SecureServer, config: Dict[str, Any]
+        self,
+        name: str,
+        server: SecureServer,
+        config: Dict[str, Any],
+        shard: Dict[str, Any] = None,
     ) -> None:
         """Install an already-built server under a name (restore path)."""
         if not name:
             raise UpdateError("column name must be non-empty")
+        if shard is not None:
+            self._check_shard(shard)
         with self._registry_lock:
             if name in self._servers:
                 raise UpdateError("column %r already exists" % name)
@@ -155,6 +199,99 @@ class ColumnCatalog:
             self._configs[name] = dict(config)
             self._locks[name] = threading.Lock()
             self._epochs[name] = 0
+        if shard is not None:
+            try:
+                self.register_shard(name, shard)
+            except UpdateError:
+                self._forget_column(name)
+                raise
+
+    def _forget_column(self, name: str) -> None:
+        """Undo a registry insert whose shard registration failed."""
+        with self._registry_lock:
+            self._servers.pop(name, None)
+            self._configs.pop(name, None)
+            self._locks.pop(name, None)
+            self._epochs.pop(name, None)
+
+    @staticmethod
+    def _check_shard(shard: Dict[str, Any]) -> None:
+        """Validate one shard descriptor's shape before any state changes."""
+        if not isinstance(shard, dict):
+            raise UpdateError("shard metadata must be a dict")
+        logical = shard.get("of")
+        if not isinstance(logical, str) or not logical:
+            raise UpdateError("shard 'of' must be a non-empty string")
+        count = shard.get("count")
+        index = shard.get("index")
+        per_value = shard.get("physical_per_value", 1)
+        if not isinstance(count, int) or isinstance(count, bool) or count < 1:
+            raise UpdateError("shard 'count' must be a positive int")
+        if (not isinstance(index, int) or isinstance(index, bool)
+                or not 0 <= index < count):
+            raise UpdateError(
+                "shard 'index' must be an int in [0, %r)" % count
+            )
+        if per_value not in (1, 2):
+            raise UpdateError("shard 'physical_per_value' must be 1 or 2")
+
+    def register_shard(self, name: str, shard: Dict[str, Any]) -> None:
+        """Record ``name`` as one slice of the logical column
+        ``shard["of"]``, checking the descriptor against any siblings
+        already registered.
+
+        Raises:
+            UpdateError: geometry mismatch with a sibling shard, or a
+                slot already taken.
+        """
+        self._check_shard(shard)
+        logical = shard["of"]
+        count = shard["count"]
+        index = shard["index"]
+        per_value = shard.get("physical_per_value", 1)
+        with self._registry_lock:
+            entry = self._shards.get(logical)
+            if entry is None:
+                entry = self._shards[logical] = {
+                    "count": count,
+                    "physical_per_value": per_value,
+                    "columns": [None] * count,
+                }
+            if entry["count"] != count:
+                raise UpdateError(
+                    "shard count mismatch for %r: %d registered, %d offered"
+                    % (logical, entry["count"], count)
+                )
+            if entry["physical_per_value"] != per_value:
+                raise UpdateError(
+                    "shard physical_per_value mismatch for %r" % logical
+                )
+            if entry["columns"][index] is not None:
+                raise UpdateError(
+                    "shard %d of %r already registered as %r"
+                    % (index, logical, entry["columns"][index])
+                )
+            entry["columns"][index] = name
+            total = sum(
+                1
+                for meta in self._shards.values()
+                for column in meta["columns"]
+                if column is not None
+            )
+        self._obs.metrics.set("catalog.shards", total)
+
+    def shards(self) -> Dict[str, Dict[str, Any]]:
+        """Copy of the shard registry: logical name -> geometry +
+        ordered shard column names (``None`` for unregistered slots)."""
+        with self._registry_lock:
+            return {
+                logical: {
+                    "count": meta["count"],
+                    "physical_per_value": meta["physical_per_value"],
+                    "columns": list(meta["columns"]),
+                }
+                for logical, meta in self._shards.items()
+            }
 
     def server(self, name: str) -> SecureServer:
         """The engine behind one column.
@@ -225,10 +362,21 @@ class ColumnCatalog:
         ``batch_request`` envelope is unpacked here, at the dict level,
         so a malformed sub-request fails *its slot only* — the valid
         sub-requests around it still execute.
+
+        ``net.requests`` counts *work units*: a batch adds one per
+        sub-envelope it carries (its own envelope is counted by
+        ``net.batches``), so request-rate metrics reflect actual load
+        whether or not clients pipeline.
         """
         metrics = self._obs.metrics
-        metrics.add("net.requests")
         kind = request_dict.get("kind") if isinstance(request_dict, dict) else None
+        if kind == "batch_request":
+            items = request_dict.get("requests")
+            metrics.add(
+                "net.requests", len(items) if isinstance(items, list) else 1
+            )
+        else:
+            metrics.add("net.requests")
         with self._obs.span("rpc-serve", kind=kind):
             if kind == "batch_request":
                 return self._serve_batch(request_dict)
@@ -253,10 +401,14 @@ class ColumnCatalog:
     def _serve_batch(self, request_dict: Dict[str, Any]) -> Dict[str, Any]:
         """Execute every sub-envelope of a batch, isolating failures.
 
-        Sub-requests run sequentially under their own per-column locks
-        (two sub-requests on different columns still never interleave
-        with other sessions' traffic on those columns); each failure is
-        confined to its slot as an error envelope.
+        Sub-requests targeting *distinct* columns run concurrently on
+        the catalog's batch pool — each under its own per-column lock,
+        so they never interleave with other sessions' traffic on those
+        columns.  Sub-requests on the *same* column keep their slot
+        order (a later sub-request observes every earlier one on that
+        column), and the response array always matches request slots
+        positionally.  Each failure is confined to its slot as an error
+        envelope.
         """
         metrics = self._obs.metrics
         if request_dict.get("version") != PROTOCOL_VERSION:
@@ -277,16 +429,38 @@ class ColumnCatalog:
                     message="batch requests must be a list",
                 )
             )
-        responses: List[Dict[str, Any]] = []
-        for item in items:
-            if isinstance(item, dict) and item.get("kind") == "batch_request":
-                metrics.add("net.errors")
-                response = ErrorResponse(
-                    code="serialization", message="batch requests cannot nest"
-                )
-                responses.append(response_to_dict(response))
-                continue
-            responses.append(response_to_dict(self._serve_one(item)))
+        # Group slot indices by target column.  Slots without a usable
+        # column string (malformed envelopes, create/hello) form
+        # singleton groups: they carry no per-column ordering contract.
+        groups: Dict[Any, List[int]] = {}
+        for index, item in enumerate(items):
+            column = item.get("column") if isinstance(item, dict) else None
+            key = column if isinstance(column, str) else ("#slot", index)
+            groups.setdefault(key, []).append(index)
+        responses: List[Optional[Dict[str, Any]]] = [None] * len(items)
+
+        def serve_group(indices: List[int]) -> None:
+            for index in indices:
+                responses[index] = self._serve_slot(items[index])
+
+        pool = self._batch_executor() if len(groups) > 1 else None
+        if pool is None:
+            for indices in groups.values():
+                serve_group(indices)
+        else:
+            metrics.add("net.parallel_batches")
+            # The dispatching thread serves the first group itself
+            # rather than idling on futures: one fewer pool hand-off
+            # per batch, and a saturated pool can never stall a batch
+            # completely.
+            group_list = list(groups.values())
+            futures = [
+                pool.submit(serve_group, indices)
+                for indices in group_list[1:]
+            ]
+            serve_group(group_list[0])
+            for future in futures:
+                future.result()
         metrics.add("net.batches")
         metrics.observe("net.batch_size", len(items))
         return {
@@ -294,6 +468,41 @@ class ColumnCatalog:
             "version": PROTOCOL_VERSION,
             "responses": responses,
         }
+
+    def _serve_slot(self, item: Any) -> Dict[str, Any]:
+        """Execute one batch slot (nested batches are rejected here)."""
+        if isinstance(item, dict) and item.get("kind") == "batch_request":
+            self._obs.metrics.add("net.errors")
+            return response_to_dict(
+                ErrorResponse(
+                    code="serialization", message="batch requests cannot nest"
+                )
+            )
+        return response_to_dict(self._serve_one(item))
+
+    def _batch_executor(self) -> Optional[ThreadPoolExecutor]:
+        """The lazily-created batch pool, or None when parallel batches
+        are disabled (``batch_workers <= 1``) or the catalog is closed."""
+        if self._batch_workers <= 1:
+            return None
+        with self._pool_lock:
+            if self._closed:
+                return None
+            if self._batch_pool is None:
+                self._batch_pool = ThreadPoolExecutor(
+                    max_workers=self._batch_workers,
+                    thread_name_prefix="repro-batch",
+                )
+            return self._batch_pool
+
+    def close(self) -> None:
+        """Shut down the batch pool (idempotent).  The catalog keeps
+        serving afterwards — batches just fall back to sequential."""
+        with self._pool_lock:
+            pool, self._batch_pool = self._batch_pool, None
+            self._closed = True
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def handle(self, request):
         """Execute one decoded request envelope against its column."""
@@ -316,7 +525,11 @@ class ColumnCatalog:
             return BatchResponse(responses=tuple(responses))
         if isinstance(request, CreateColumnRequest):
             server = self.create_column(
-                request.column, request.rows, request.row_ids, request.config
+                request.column,
+                request.rows,
+                request.row_ids,
+                request.config,
+                shard=request.shard,
             )
             return CreateColumnResponse(
                 column=request.column, rows_stored=len(server)

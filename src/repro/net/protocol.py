@@ -111,12 +111,19 @@ class BatchRequest:
 
 @dataclass(frozen=True)
 class CreateColumnRequest:
-    """Upload a freshly encrypted column under a name."""
+    """Upload a freshly encrypted column under a name.
+
+    ``shard`` optionally declares the column one slice of a logical
+    sharded column: ``{"of": logical_name, "index": i, "count": n,
+    "physical_per_value": p}``.  It is omitted from the wire when
+    ``None``, so unsharded frames stay byte-identical to older peers'.
+    """
 
     column: str
     rows: Tuple[ValueCiphertext, ...]
     row_ids: Tuple[int, ...]
     config: Dict[str, Any] = field(default_factory=dict)
+    shard: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -400,6 +407,46 @@ def _codecs_from_list(items) -> Tuple[str, ...]:
     return tuple(items)
 
 
+#: Keys a shard descriptor carries on the wire.
+_SHARD_KEYS = ("of", "index", "count", "physical_per_value")
+
+
+def _shard_to_dict(shard) -> Dict[str, Any]:
+    if not isinstance(shard, dict):
+        raise SerializationError("shard metadata must be an object")
+    return _shard_from_dict(shard)
+
+
+def _shard_from_dict(data) -> Dict[str, Any]:
+    if not isinstance(data, dict):
+        raise SerializationError("shard metadata must be an object")
+    unknown = set(data) - set(_SHARD_KEYS)
+    if unknown:
+        raise SerializationError(
+            "unknown shard metadata keys: %s" % ", ".join(sorted(unknown))
+        )
+    logical = data.get("of")
+    if not isinstance(logical, str) or not logical:
+        raise SerializationError("shard 'of' must be a non-empty string")
+    try:
+        count = int(data["count"])
+        index = int(data["index"])
+        per_value = int(data.get("physical_per_value", 1))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError("malformed shard metadata: %s" % exc) from exc
+    if count < 1 or not 0 <= index < count or per_value not in (1, 2):
+        raise SerializationError(
+            "inconsistent shard metadata: index=%r count=%r "
+            "physical_per_value=%r" % (index, count, per_value)
+        )
+    return {
+        "of": logical,
+        "index": index,
+        "count": count,
+        "physical_per_value": per_value,
+    }
+
+
 def _config_from_dict(data) -> Dict[str, Any]:
     if not isinstance(data, dict):
         raise SerializationError("column config must be an object")
@@ -428,13 +475,17 @@ def request_to_dict(request) -> Dict[str, Any]:
             items.append(request_to_dict(sub))
         return _envelope(kind, requests=items)
     if isinstance(request, CreateColumnRequest):
-        return _envelope(
+        payload = _envelope(
             kind,
             column=request.column,
             rows=_rows_to_list(request.rows),
             row_ids=[int(i) for i in request.row_ids],
             config=dict(request.config),
         )
+        # Omitted when absent so unsharded frames keep their old bytes.
+        if request.shard is not None:
+            payload["shard"] = _shard_to_dict(request.shard)
+        return payload
     if isinstance(request, QueryRequest):
         return _envelope(
             kind, column=request.column, query=query_to_dict(request.query)
@@ -485,11 +536,13 @@ def request_from_dict(data: Dict[str, Any]):
         if not isinstance(column, str) or not column:
             raise SerializationError("column name must be a non-empty string")
         if kind == "create_column":
+            shard = data.get("shard")
             return CreateColumnRequest(
                 column=column,
                 rows=_rows_from_list(data["rows"]),
                 row_ids=_ids_from_list(data["row_ids"]),
                 config=_config_from_dict(data.get("config", {})),
+                shard=None if shard is None else _shard_from_dict(shard),
             )
         if kind == "query_request":
             return QueryRequest(column=column, query=query_from_dict(data["query"]))

@@ -376,6 +376,9 @@ class CatalogTCPServer:
             self._connections.clear()
         for connection in connections:
             connection.close()
+        # All workers are drained, so no batch can be in flight: shut
+        # down the catalog's parallel-batch pool with them.
+        self.catalog.close()
         self._metrics.set("net.active_connections", 0)
         with self._connections_lock:
             readers = list(self._reader_threads)
@@ -457,6 +460,7 @@ class ThreadPerConnectionServer(socketserver.ThreadingTCPServer):
             except OSError:  # pragma: no cover - close is best effort
                 pass
         self.server_close()
+        self.catalog.close()
 
 
 def serve(

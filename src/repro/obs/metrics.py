@@ -15,11 +15,15 @@ Three instrument kinds cover everything the evaluation needs:
   accumulate.
 * :class:`Gauge` — a last-written value (current AVL depth, current
   piece count, pending-buffer size).
-* :class:`Histogram` — a full distribution with exact percentiles
-  (cracked-piece sizes, response bytes, cracks per query).  Values are
-  kept verbatim, so percentiles are exact rather than bucketed
-  estimates; the memory cost is one float per observation, which at
-  benchmark scale (thousands of queries) is negligible.
+* :class:`Histogram` — a distribution with nearest-rank percentiles
+  (cracked-piece sizes, response bytes, cracks per query).  Up to
+  :data:`Histogram.DEFAULT_MAX_SAMPLES` observations are kept verbatim
+  — percentiles are exact at that scale — and beyond the cap the
+  histogram switches to a fixed-size reservoir sample (Vitter's
+  algorithm R with a deterministic seed), so memory stays bounded
+  under sustained traffic while ``count`` / ``sum`` / ``min`` /
+  ``max`` / ``mean`` remain exact and percentiles become unbiased
+  estimates over the reservoir.
 
 Everything is plain Python — no third-party dependencies — and cheap
 enough to stay enabled permanently (the expensive subsystem, tracing,
@@ -28,6 +32,7 @@ lives in :mod:`repro.obs.tracing` behind a no-op guard).
 
 from __future__ import annotations
 
+import random
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 Number = Union[int, float]
@@ -67,49 +72,100 @@ class Gauge:
 
 
 class Histogram:
-    """A named distribution with exact (nearest-rank) percentiles."""
+    """A named distribution with nearest-rank percentiles.
 
-    __slots__ = ("name", "_values", "_sorted")
+    Memory is bounded: the first ``max_samples`` observations are kept
+    verbatim (percentiles are *exact* at that scale — every histogram
+    the benchmarks read stays well under the cap), and beyond the cap
+    the kept values become a uniform reservoir sample (Vitter's
+    algorithm R, deterministic seed) of everything observed so far.
+    ``count``, ``sum``, ``min``, ``max``, and ``mean`` are tracked
+    exactly regardless of the cap; only the percentiles degrade — to
+    unbiased estimates over ``max_samples`` kept values — once the
+    observation count exceeds it.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = (
+        "name", "max_samples", "_values", "_sorted",
+        "_count", "_sum", "_min", "_max", "_rng",
+    )
+
+    #: Reservoir capacity: large enough that p99 over the reservoir is
+    #: within a fraction of a percentile rank of the true p99, small
+    #: enough that a histogram can never grow past a few tens of KB.
+    DEFAULT_MAX_SAMPLES = 4096
+
+    def __init__(self, name: str, max_samples: int = None) -> None:
         self.name = name
+        self.max_samples = (
+            self.DEFAULT_MAX_SAMPLES if max_samples is None
+            else max(1, int(max_samples))
+        )
         self._values: List[Number] = []
         self._sorted = True
+        self._count = 0
+        self._sum: Number = 0
+        self._min: Optional[Number] = None
+        self._max: Optional[Number] = None
+        # Deterministic reservoir randomness: two runs of the same
+        # workload report identical summaries.
+        self._rng = random.Random(0x5EED)
 
     def observe(self, value: Number) -> None:
-        """Record one observation."""
-        if self._values and value < self._values[-1]:
+        """Record one observation (O(1), bounded memory)."""
+        self._count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        if len(self._values) < self.max_samples:
+            if self._values and value < self._values[-1]:
+                self._sorted = False
+            self._values.append(value)
+            return
+        # Algorithm R: keep each of the _count values seen so far with
+        # probability max_samples / _count.
+        slot = self._rng.randrange(self._count)
+        if slot < self.max_samples:
+            self._values[slot] = value
             self._sorted = False
-        self._values.append(value)
 
     @property
     def count(self) -> int:
-        return len(self._values)
+        return self._count
 
     @property
     def sum(self) -> Number:
-        return sum(self._values)
+        return self._sum
 
     @property
     def min(self) -> Optional[Number]:
-        return min(self._values) if self._values else None
+        return self._min
 
     @property
     def max(self) -> Optional[Number]:
-        return max(self._values) if self._values else None
+        return self._max
 
     @property
     def mean(self) -> Optional[float]:
-        if not self._values:
+        if not self._count:
             return None
-        return self.sum / len(self._values)
+        return self._sum / self._count
+
+    @property
+    def samples_kept(self) -> int:
+        """Observations currently held in memory (<= ``max_samples``)."""
+        return len(self._values)
 
     def percentile(self, q: float) -> Optional[Number]:
-        """Exact nearest-rank percentile: the smallest recorded value
-        with at least ``q`` percent of observations at or below it.
+        """Nearest-rank percentile: the smallest kept value with at
+        least ``q`` percent of kept observations at or below it.
 
-        ``percentile(50)`` of ``[1, 2, 3, 4]`` is 2 (rank
-        ``ceil(0.5 * 4) = 2``); ``percentile(100)`` is the maximum.
+        Exact while the histogram has seen at most ``max_samples``
+        observations (``percentile(50)`` of ``[1, 2, 3, 4]`` is 2 —
+        rank ``ceil(0.5 * 4) = 2`` — and ``percentile(100)`` is the
+        maximum); an unbiased reservoir estimate beyond the cap.
         Returns None on an empty histogram.
         """
         if not self._values:

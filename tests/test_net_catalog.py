@@ -7,6 +7,7 @@ from repro.errors import QueryError, UpdateError
 from repro.net.catalog import ColumnCatalog
 from repro.net.protocol import (
     PROTOCOL_VERSION,
+    InsertRequest,
     MergeRequest,
     QueryRequest,
     request_to_dict,
@@ -122,6 +123,187 @@ class TestMetrics:
         rows, row_ids = client.encrypt_dataset([3, 4])
         catalog.create_column("b", rows, row_ids)
         assert obs.metrics.counter_value("net.columns_created") == 2
+
+    def test_batch_counts_sub_requests_as_work_units(self, loaded):
+        """``net.requests`` reflects load, not framing: a 3-item batch
+        adds 3 (``net.batches`` counts the envelope itself)."""
+        metrics = loaded.obs.metrics
+        base = metrics.counter_value("net.requests")
+        batch = _batch(
+            [request_to_dict(MergeRequest(column="prices"))] * 3
+        )
+        reply = loaded.dispatch(batch)
+        assert reply["kind"] == "batch_response"
+        assert metrics.counter_value("net.requests") == base + 3
+        assert metrics.counter_value("net.batches") == 1
+        assert metrics.histogram("net.batch_size").max == 3
+
+    def test_malformed_batch_counts_one_request(self, loaded):
+        metrics = loaded.obs.metrics
+        base = metrics.counter_value("net.requests")
+        reply = loaded.dispatch(
+            {"kind": "batch_request", "version": PROTOCOL_VERSION,
+             "requests": "nope"}
+        )
+        assert reply["kind"] == "error_response"
+        assert metrics.counter_value("net.requests") == base + 1
+
+
+def _batch(items):
+    return {
+        "kind": "batch_request",
+        "version": PROTOCOL_VERSION,
+        "requests": list(items),
+    }
+
+
+@pytest.fixture()
+def two_columns(client):
+    """A catalog hosting two independent columns."""
+    catalog = ColumnCatalog(obs=Observability())
+    rows, row_ids = client.encrypt_dataset([10, 20, 30, 40])
+    catalog.create_column("prices", rows, row_ids)
+    rows, row_ids = client.encrypt_dataset([1, 2, 3, 4])
+    catalog.create_column("volumes", rows, row_ids)
+    return catalog
+
+
+class TestParallelBatch:
+    def test_multi_column_batch_runs_on_the_pool(self, two_columns, client):
+        metrics = two_columns.obs.metrics
+        reply = two_columns.dispatch(
+            _batch(
+                [
+                    request_to_dict(
+                        QueryRequest(column=c, query=client.make_query(0, 50))
+                    )
+                    for c in ("prices", "volumes", "prices")
+                ]
+            )
+        )
+        assert reply["kind"] == "batch_response"
+        assert len(reply["responses"]) == 3
+        assert all(
+            r["kind"] == "query_response" for r in reply["responses"]
+        )
+        assert metrics.counter_value("net.parallel_batches") == 1
+        two_columns.close()
+
+    def test_single_column_batch_stays_sequential(self, loaded, client):
+        metrics = loaded.obs.metrics
+        loaded.dispatch(
+            _batch(
+                [
+                    request_to_dict(
+                        QueryRequest(
+                            column="prices", query=client.make_query(0, 50)
+                        )
+                    )
+                ]
+                * 3
+            )
+        )
+        assert metrics.counter_value("net.parallel_batches") == 0
+
+    def test_responses_stay_positional(self, two_columns, client):
+        """Slot order in the response matches the request, whatever the
+        execution interleaving — including error slots."""
+        items = [
+            request_to_dict(MergeRequest(column="volumes")),
+            request_to_dict(MergeRequest(column="missing")),
+            request_to_dict(MergeRequest(column="prices")),
+        ]
+        reply = two_columns.dispatch(_batch(items))
+        kinds = [r["kind"] for r in reply["responses"]]
+        assert kinds == ["merge_response", "error_response", "merge_response"]
+        two_columns.close()
+
+    def test_same_column_slots_keep_order(self, two_columns, client):
+        """An insert earlier in the batch is visible to a later query
+        on the same column even when another column runs in parallel."""
+        rows, _ = client.encrypt_dataset([25])
+        items = [
+            request_to_dict(InsertRequest(column="prices", rows=tuple(rows))),
+            request_to_dict(MergeRequest(column="prices")),
+            request_to_dict(
+                QueryRequest(column="prices", query=client.make_query(25, 25))
+            ),
+            request_to_dict(MergeRequest(column="volumes")),
+        ]
+        reply = two_columns.dispatch(_batch(items))
+        kinds = [r["kind"] for r in reply["responses"]]
+        assert kinds == [
+            "insert_response",
+            "merge_response",
+            "query_response",
+            "merge_response",
+        ]
+        response = response_from_dict(reply["responses"][2])
+        assert len(response.response.rows) == 1
+        two_columns.close()
+
+    def test_nested_batch_rejected_per_slot(self, loaded, client):
+        reply = loaded.dispatch(
+            _batch(
+                [
+                    _batch([]),
+                    request_to_dict(MergeRequest(column="prices")),
+                ]
+            )
+        )
+        kinds = [r["kind"] for r in reply["responses"]]
+        assert kinds == ["error_response", "merge_response"]
+        assert "nest" in reply["responses"][0]["message"]
+
+    def test_workers_disabled_falls_back_sequential(self, client):
+        catalog = ColumnCatalog(obs=Observability(), batch_workers=1)
+        rows, row_ids = client.encrypt_dataset([1, 2])
+        catalog.create_column("a", rows, row_ids)
+        rows, row_ids = client.encrypt_dataset([3, 4])
+        catalog.create_column("b", rows, row_ids)
+        reply = catalog.dispatch(
+            _batch(
+                [
+                    request_to_dict(MergeRequest(column="a")),
+                    request_to_dict(MergeRequest(column="b")),
+                ]
+            )
+        )
+        assert [r["kind"] for r in reply["responses"]] == [
+            "merge_response",
+            "merge_response",
+        ]
+        assert (
+            catalog.obs.metrics.counter_value("net.parallel_batches") == 0
+        )
+
+    def test_close_is_idempotent_and_serving_continues(self, two_columns):
+        metrics = two_columns.obs.metrics
+        two_columns.dispatch(
+            _batch(
+                [
+                    request_to_dict(MergeRequest(column="prices")),
+                    request_to_dict(MergeRequest(column="volumes")),
+                ]
+            )
+        )
+        assert metrics.counter_value("net.parallel_batches") == 1
+        two_columns.close()
+        two_columns.close()
+        reply = two_columns.dispatch(
+            _batch(
+                [
+                    request_to_dict(MergeRequest(column="prices")),
+                    request_to_dict(MergeRequest(column="volumes")),
+                ]
+            )
+        )
+        # Still answers, now sequentially: no new parallel batch.
+        assert [r["kind"] for r in reply["responses"]] == [
+            "merge_response",
+            "merge_response",
+        ]
+        assert metrics.counter_value("net.parallel_batches") == 1
 
 
 class TestAdopt:

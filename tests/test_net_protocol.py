@@ -382,3 +382,92 @@ class TestBinaryFrames:
         assert (
             response_from_dict(decode_frame(encode_frame(data))) == response
         )
+
+
+class TestIntArrayFastPath:
+    """The struct-packed encoding for homogeneous int lists (tag 0x0A)."""
+
+    @staticmethod
+    def _encode(value):
+        from repro.net.binframe import encode_binary_frame
+
+        return encode_binary_frame({"a": value})
+
+    @staticmethod
+    def _decode(frame):
+        from repro.net.binframe import decode_binary_frame
+
+        return decode_binary_frame(frame)
+
+    def test_round_trip_at_every_width(self):
+        cases = [
+            [0, 1, 2, 3],                                # 1-byte
+            [-128, 127, 0, 5],                           # 1-byte bounds
+            [-129, 128, 300, -4], [32767, -32768, 0, 1],  # 2-byte
+            [1 << 20, -(1 << 20), 3, 4],                 # 4-byte
+            [(1 << 31) - 1, -(1 << 31), 0, 9],           # 4-byte bounds
+            [1 << 40, -(1 << 40), 1, 2],                 # 8-byte
+            [(1 << 63) - 1, -(1 << 63), 0, 1],           # 8-byte bounds
+        ]
+        for values in cases:
+            decoded = self._decode(self._encode(values))["a"]
+            assert decoded == values
+            assert all(type(item) is int for item in decoded)
+
+    def test_fast_path_used_and_smaller(self):
+        from repro.net.binframe import _TAG_INTARRAY
+
+        values = list(range(200))
+        frame = self._encode(values)
+        assert _TAG_INTARRAY in frame
+        # 200 small ints: ~2 bytes each struct-packed vs 2-3 tagged.
+        assert len(frame) < 2 * 200 + 32
+
+    def test_ineligible_arrays_fall_back(self):
+        from repro.net.binframe import _TAG_INTARRAY
+
+        ineligible = [
+            [1, 2, 3],                      # too short
+            [1, 2, 3, True],                # bool is not a plain int
+            [1, 2, 3, 4.0],                 # float
+            [1, 2, 3, 1 << 63],             # beyond 64-bit signed
+            [1, 2, 3, -(1 << 63) - 1],
+            [1, 2, 3, "x"],
+        ]
+        for values in ineligible:
+            frame = self._encode(values)
+            assert self._decode(frame)["a"] == values
+            # Re-encode sanity: the round-tripped value still matches.
+            assert self._decode(self._encode(self._decode(frame)["a"]))
+
+    def test_bad_width_code_rejected(self):
+        from repro.errors import SerializationError
+        from repro.net.binframe import _TAG_INTARRAY
+
+        frame = self._encode([1, 2, 3, 4])
+        position = frame.index(_TAG_INTARRAY)
+        broken = bytearray(frame)
+        broken[position + 1] = 9  # only codes 0-3 are defined
+        with pytest.raises(SerializationError, match="width code"):
+            self._decode(bytes(broken))
+
+    def test_truncated_payload_rejected(self):
+        from repro.errors import SerializationError
+
+        frame = self._encode([1, 2, 3, 4])
+        with pytest.raises(SerializationError):
+            self._decode(frame[:-2])
+
+    def test_oversized_count_rejected(self):
+        from repro.errors import SerializationError
+        from repro.net.binframe import _TAG_INTARRAY
+
+        # Hand-build a frame whose count claims more payload than exists.
+        from repro.net.binframe import _HEADER
+
+        body = bytearray(_HEADER)
+        body.append(_TAG_INTARRAY)
+        body.append(3)  # 8-byte width
+        body.append(0x7F)  # count=127 -> needs 1016 bytes; none follow
+        with pytest.raises(SerializationError, match="exceeds"):
+            self._decode(bytes(body))

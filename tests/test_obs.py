@@ -167,6 +167,53 @@ class TestHistogram:
             "p50": 3, "p90": 5, "p99": 5,
         }
 
+    def test_memory_bounded_under_one_million_observations(self):
+        import sys
+
+        hist = Histogram("h")
+        total = 1_000_000
+        for value in range(total):
+            hist.observe(value)
+        # The reservoir never outgrows the cap, no matter how many
+        # observations arrive.
+        assert hist.samples_kept == Histogram.DEFAULT_MAX_SAMPLES
+        assert sys.getsizeof(hist._values) < 64 * Histogram.DEFAULT_MAX_SAMPLES
+        # Exact trackers are unaffected by sampling.
+        assert hist.count == total
+        assert hist.sum == total * (total - 1) // 2
+        assert hist.min == 0
+        assert hist.max == total - 1
+        assert hist.mean == pytest.approx((total - 1) / 2)
+        # Percentiles become estimates but stay in the right ballpark:
+        # with 4096 uniform samples p50 lands well within ±5% of true.
+        p50 = hist.percentile(50)
+        assert total * 0.45 <= p50 <= total * 0.55
+        summary = hist.summary()
+        assert summary["count"] == total
+        assert summary["p99"] is not None
+
+    def test_exact_until_cap_then_reservoir(self):
+        hist = Histogram("h", max_samples=8)
+        for value in [8, 7, 6, 5, 4, 3, 2, 1]:
+            hist.observe(value)
+        # At the cap: still exact.
+        assert hist.percentile(50) == 4
+        assert hist.samples_kept == 8
+        hist.observe(100)
+        # Beyond the cap: bounded, exact aggregates, estimated ranks.
+        assert hist.samples_kept == 8
+        assert hist.count == 9
+        assert hist.max == 100
+        assert hist.min == 1
+        assert hist.percentile(100) <= 100
+
+    def test_custom_cap_floor(self):
+        hist = Histogram("h", max_samples=0)  # clamped to 1
+        for value in range(10):
+            hist.observe(value)
+        assert hist.samples_kept == 1
+        assert hist.count == 10
+
 
 class TestRegistry:
     def test_get_or_create_identity(self):
