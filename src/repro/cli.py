@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven subcommands cover the common operator flows:
+Eight subcommands cover the common operator flows:
 
 * ``demo``   — a self-contained end-to-end demonstration (synthetic
   data, a query burst, adaptation statistics).
@@ -9,12 +9,20 @@ Seven subcommands cover the common operator flows:
   totals).
 * ``stats``  — run a workload and print the full metrics snapshot
   (counters, gauges, histogram summaries; ``--json`` for machines).
+  With ``--connect`` and no FILE it instead fetches the *live*
+  telemetry of a running endpoint over the ``telemetry_request``
+  envelope — the same counters the server would render locally.
 * ``trace``  — run a workload with span tracing enabled and write the
-  JSONL trace (plus a per-span-name summary on stdout).
+  JSONL trace (plus a per-span-name summary on stdout).  ``--merge``
+  stitches client and server JSONL dumps into one distributed span
+  tree instead of running a workload.
+* ``top``    — a refreshing live monitor over a serving endpoint's
+  telemetry (requests, queue depth, slow queries).
 * ``sql``    — load one or more CSV tables (encrypted by default) and
   execute a SQL statement from the supported subset.
 * ``serve``  — host an empty column catalog on a TCP port; remote
-  clients upload and query columns through the wire protocol.
+  clients upload and query columns through the wire protocol
+  (``--trace FILE`` dumps the server-side span JSONL on shutdown).
 * ``keygen`` — generate a secret key and print its JSON serialization
   (for sharing between trusted clients out of band).
 
@@ -75,18 +83,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     stats = commands.add_parser(
-        "stats", help="run a workload and print the metrics snapshot"
+        "stats", help="run a workload and print the metrics snapshot "
+        "(no FILE + --connect: fetch a live endpoint's telemetry)"
     )
-    _add_workload_args(stats)
+    _add_workload_args(stats, optional_file=True)
     stats.add_argument("--json", action="store_true",
                        help="emit the snapshot as JSON")
 
     trace = commands.add_parser(
         "trace", help="run a workload with tracing and dump JSONL spans"
     )
-    _add_workload_args(trace)
+    _add_workload_args(trace, optional_file=True)
     trace.add_argument("--output", default="trace.jsonl",
                        help="JSONL file to write spans to")
+    trace.add_argument(
+        "--merge", nargs="+", metavar="TRACE.jsonl", default=None,
+        help="merge span dumps (e.g. client + server) into one "
+             "distributed tree written to --output; no workload is run",
+    )
+
+    top = commands.add_parser(
+        "top", help="refreshing live telemetry monitor for an endpoint"
+    )
+    top.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="the running `repro serve` endpoint to monitor",
+    )
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between refreshes (default 2)")
+    top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="exit after N refreshes (default 0 = run until ctrl-c)",
+    )
+    top.add_argument("--codec", choices=("auto", "json", "binary"),
+                     default="auto")
 
     sql = commands.add_parser("sql", help="run SQL over CSV tables")
     sql.add_argument(
@@ -134,6 +164,21 @@ def build_parser() -> argparse.ArgumentParser:
              "concurrently (sharded scatter-gather; 0 or 1 disables, "
              "default 8)",
     )
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="enable server-side span tracing; the JSONL dump is "
+             "written to FILE on shutdown (merge it with a client dump "
+             "via `repro trace --merge`)",
+    )
+    serve.add_argument(
+        "--slow-query-threshold", type=float, default=0.25, metavar="SECONDS",
+        help="dispatches at least this slow land in the telemetry "
+             "slow-query ring (default 0.25)",
+    )
+    serve.add_argument(
+        "--slow-query-capacity", type=int, default=64, metavar="N",
+        help="slow-query ring size (default 64)",
+    )
 
     keygen = commands.add_parser("keygen", help="generate a secret key")
     keygen.add_argument("--length", type=int, default=4)
@@ -152,6 +197,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "query": _run_query,
             "stats": _run_stats,
             "trace": _run_trace,
+            "top": _run_top,
             "sql": _run_sql,
             "serve": _run_serve,
             "keygen": _run_keygen,
@@ -198,9 +244,16 @@ def _run_demo(args) -> int:
     return 0
 
 
-def _add_workload_args(parser) -> None:
+def _add_workload_args(parser, optional_file: bool = False) -> None:
     """The shared column-file-plus-queries arguments."""
-    parser.add_argument("file", help="text file, one integer per line")
+    if optional_file:
+        parser.add_argument(
+            "file", nargs="?", default=None,
+            help="text file, one integer per line (optional for the "
+                 "command's non-workload modes)",
+        )
+    else:
+        parser.add_argument("file", help="text file, one integer per line")
     parser.add_argument(
         "--range", nargs=2, type=int, action="append", metavar=("LOW", "HIGH"),
         dest="ranges", default=[], help="range query (repeatable)",
@@ -335,6 +388,18 @@ def _run_query(args) -> int:
 
 
 def _run_stats(args) -> int:
+    if args.file is None:
+        if not getattr(args, "connect", None):
+            raise ReproError(
+                "stats needs a column FILE to run a workload, or "
+                "--connect HOST:PORT for a live endpoint snapshot"
+            )
+        sections = _fetch_telemetry(args)
+        if args.json:
+            print(json.dumps(sections, indent=2, sort_keys=True))
+        else:
+            print(_render_telemetry(sections))
+        return 0
     db = _build_db(args)
     _execute_workload(db, args, verbose=False)
     if args.json:
@@ -344,7 +409,77 @@ def _run_stats(args) -> int:
     return 0
 
 
+def _fetch_telemetry(args, sections=None):
+    """One ``telemetry_request`` round trip against ``--connect``."""
+    from repro.net import RemoteColumn
+
+    transport = _make_transport(args)
+    remote = RemoteColumn(
+        transport, "telemetry", codec=getattr(args, "codec", "auto")
+    )
+    try:
+        return remote.telemetry(sections)
+    finally:
+        remote.close()
+
+
+def _render_telemetry(sections) -> str:
+    """Human-readable endpoint telemetry (metrics part identical to a
+    server-local ``MetricsRegistry.render()``)."""
+    from repro.obs.metrics import render_snapshot
+
+    lines: List[str] = []
+    metrics = sections.get("metrics")
+    if isinstance(metrics, dict):
+        lines.append(render_snapshot(metrics))
+    pool = sections.get("pool")
+    if isinstance(pool, dict):
+        lines.append(
+            "pool: %s workers, queue %s/%s, connections %s/%s%s"
+            % (pool.get("workers"), pool.get("queue_depth"),
+               pool.get("queue_size"), pool.get("active_connections"),
+               pool.get("max_connections"),
+               " (draining)" if pool.get("draining") else "")
+        )
+    tracer = sections.get("tracer")
+    if isinstance(tracer, dict):
+        lines.append(
+            "tracer: %s, %s spans recorded"
+            % ("enabled" if tracer.get("enabled") else "disabled",
+               tracer.get("spans", 0))
+        )
+    catalog = sections.get("catalog")
+    if isinstance(catalog, dict):
+        columns = catalog.get("columns") or []
+        lines.append(
+            "catalog: %d columns, %d logical shard groups"
+            % (len(columns), len(catalog.get("shards") or {}))
+        )
+    slow = sections.get("slow_queries")
+    if isinstance(slow, dict):
+        entries = slow.get("entries") or []
+        lines.append(
+            "slow queries (>= %ss): %s recorded, showing %d"
+            % (slow.get("threshold_seconds"), slow.get("recorded", 0),
+               min(len(entries), 5))
+        )
+        for entry in entries[-5:]:
+            lines.append(
+                "  %.4fs  %-16s %s"
+                % (entry.get("seconds", 0.0), entry.get("kind", "?"),
+                   entry.get("column", ""))
+            )
+    return "\n".join(lines) if lines else "(no telemetry sections)"
+
+
 def _run_trace(args) -> int:
+    if args.merge:
+        return _run_trace_merge(args)
+    if args.file is None:
+        raise ReproError(
+            "trace needs a column FILE to run a workload "
+            "(or --merge TRACE.jsonl ... to merge existing dumps)"
+        )
     from repro.obs import Observability
 
     obs = Observability(tracing=True)
@@ -356,6 +491,64 @@ def _run_trace(args) -> int:
         print("  %-16s %5d spans  %.6fs" % (name, entry["count"],
                                             entry["seconds"]))
     return 0
+
+
+def _run_trace_merge(args) -> int:
+    """Stitch client/server span dumps into one distributed tree."""
+    from repro.obs import load_trace_jsonl, merge_traces
+
+    dumps_in = [load_trace_jsonl(path) for path in args.merge]
+    merged = merge_traces(*dumps_in)
+    with open(args.output, "w") as handle:
+        for record in merged:
+            handle.write(json.dumps(record) + "\n")
+    roots = sum(1 for record in merged if record.get("tree_depth") == 0)
+    print(
+        "merged %d spans from %d dumps into %s (%d roots)"
+        % (len(merged), len(args.merge), args.output, roots)
+    )
+    limit = 200
+    for record in merged[:limit]:
+        duration = record.get("duration")
+        timing = (
+            " %.6fs" % duration if isinstance(duration, (int, float)) else ""
+        )
+        detail = "".join(
+            " %s=%s" % (key, record[key])
+            for key in ("kind", "column") if record.get(key) is not None
+        )
+        print("  %s%s%s%s" % ("  " * int(record.get("tree_depth", 0)),
+                              record.get("name", "?"), timing, detail))
+    if len(merged) > limit:
+        print("  ... (%d more spans in %s)" % (len(merged) - limit,
+                                               args.output))
+    return 0
+
+
+def _run_top(args) -> int:
+    """Refreshing live monitor over an endpoint's telemetry."""
+    from repro.net import RemoteColumn
+
+    transport = _make_transport(args)
+    remote = RemoteColumn(transport, "telemetry", codec=args.codec)
+    refreshes = 0
+    try:
+        while True:
+            sections = remote.telemetry()
+            if sys.stdout.isatty():  # pragma: no cover - interactive only
+                print("\x1b[2J\x1b[H", end="")
+            print("repro top — %s — refresh %d"
+                  % (args.connect, refreshes + 1))
+            print(_render_telemetry(sections))
+            sys.stdout.flush()
+            refreshes += 1
+            if args.iterations and refreshes >= args.iterations:
+                return 0
+            time.sleep(max(0.05, args.interval))
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    finally:
+        remote.close()
 
 
 def _run_sql(args) -> int:
@@ -396,8 +589,15 @@ def _run_sql(args) -> int:
 
 def _run_serve(args) -> int:
     from repro.net import ColumnCatalog, serve as bind_endpoint
+    from repro.obs import Observability
 
-    catalog = ColumnCatalog(batch_workers=args.batch_workers)
+    obs = Observability(tracing=bool(args.trace))
+    catalog = ColumnCatalog(
+        obs=obs,
+        batch_workers=args.batch_workers,
+        slow_query_threshold=args.slow_query_threshold,
+        slow_query_capacity=args.slow_query_capacity,
+    )
     endpoint = bind_endpoint(
         catalog=catalog,
         host=args.host,
@@ -419,6 +619,10 @@ def _run_serve(args) -> int:
         print("stopping")
     finally:
         endpoint.stop()
+        if args.trace:
+            obs.tracer.dump_jsonl(args.trace)
+            print("wrote %d server spans to %s"
+                  % (len(obs.tracer.spans), args.trace), flush=True)
     return 0
 
 

@@ -48,6 +48,9 @@ from repro.net.protocol import (
     ErrorResponse,
     HelloRequest,
     HelloResponse,
+    TelemetryRequest,
+    TelemetryResponse,
+    attach_trace,
     decode_frame,
     encode_frame,
     frame_codec,
@@ -55,6 +58,7 @@ from repro.net.protocol import (
     request_to_dict,
     response_from_dict,
     response_to_dict,
+    trace_from_wire,
 )
 from repro.net.server import (
     CatalogTCPServer,
@@ -82,8 +86,11 @@ __all__ = [
     "RemoteColumn",
     "ShardedRemoteColumn",
     "TcpTransport",
+    "TelemetryRequest",
+    "TelemetryResponse",
     "ThreadPerConnectionServer",
     "Transport",
+    "attach_trace",
     "decode_binary_frame",
     "decode_frame",
     "encode_binary_frame",
@@ -96,4 +103,5 @@ __all__ = [
     "response_to_dict",
     "serve",
     "shard_column_names",
+    "trace_from_wire",
 ]

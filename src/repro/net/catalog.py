@@ -35,8 +35,9 @@ grouping.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.query import EncryptedQuery
 from repro.core.server import SecureServer
@@ -72,11 +73,18 @@ from repro.net.protocol import (
     RotateApplyResponse,
     RotateBeginRequest,
     RotateBeginResponse,
+    TelemetryRequest,
+    TelemetryResponse,
     error_response_for,
     request_from_dict,
     response_to_dict,
+    trace_from_wire,
 )
-from repro.obs import Observability
+from repro.obs import Observability, SlowQueryLog, Span
+from repro.obs.telemetry import (
+    DEFAULT_SLOW_QUERY_CAPACITY,
+    DEFAULT_SLOW_QUERY_THRESHOLD,
+)
 
 
 class ColumnCatalog:
@@ -91,10 +99,23 @@ class ColumnCatalog:
             first batch that actually spans columns, so plain loopback
             sessions never spawn a thread; ``<= 1`` disables parallel
             batches entirely.
+        slow_query_threshold: dispatches taking at least this many
+            seconds land in the slow-query ring (served over
+            ``telemetry_request``); ``0.0`` records every dispatch.
+        slow_query_capacity: slow-query ring size.
     """
 
-    def __init__(self, obs: Observability = None, batch_workers: int = 8) -> None:
+    def __init__(self, obs: Observability = None, batch_workers: int = 8,
+                 slow_query_threshold: float = DEFAULT_SLOW_QUERY_THRESHOLD,
+                 slow_query_capacity: int = DEFAULT_SLOW_QUERY_CAPACITY,
+                 ) -> None:
         self._obs = obs if obs is not None else Observability()
+        self._slow_log = SlowQueryLog(
+            threshold=slow_query_threshold, capacity=slow_query_capacity
+        )
+        # Extra telemetry sections (name -> zero-arg callable returning
+        # a JSON-compatible payload); the TCP server registers "pool".
+        self._telemetry_providers: Dict[str, Callable[[], Any]] = {}
         self._registry_lock = threading.Lock()
         self._servers: Dict[str, SecureServer] = {}
         self._configs: Dict[str, Dict[str, Any]] = {}
@@ -367,6 +388,13 @@ class ColumnCatalog:
         sub-envelope it carries (its own envelope is counted by
         ``net.batches``), so request-rate metrics reflect actual load
         whether or not clients pipeline.
+
+        An envelope carrying a ``trace`` field links this dispatch into
+        the caller's distributed trace: the ``rpc-serve`` span adopts
+        the remote ``rpc`` span as its parent (a malformed field
+        degrades to an untraced dispatch, never an error).  Dispatches
+        that cross the slow-query threshold are recorded in the
+        endpoint's ring with their span breakdown.
         """
         metrics = self._obs.metrics
         kind = request_dict.get("kind") if isinstance(request_dict, dict) else None
@@ -377,10 +405,101 @@ class ColumnCatalog:
             )
         else:
             metrics.add("net.requests")
-        with self._obs.span("rpc-serve", kind=kind):
+        remote = trace_from_wire(
+            request_dict.get("trace") if isinstance(request_dict, dict)
+            else None
+        )
+        started = time.perf_counter()
+        with self._obs.span("rpc-serve", remote=remote, kind=kind) as span:
             if kind == "batch_request":
-                return self._serve_batch(request_dict)
-            return response_to_dict(self._serve_one(request_dict))
+                response = self._serve_batch(request_dict)
+            else:
+                response = response_to_dict(self._serve_one(request_dict))
+        elapsed = time.perf_counter() - started
+        if elapsed >= self._slow_log.threshold:
+            metrics.add("net.slow_queries")
+            self._record_slow(request_dict, kind, elapsed, span)
+        return response
+
+    def _record_slow(self, request_dict: Any, kind: Any, elapsed: float,
+                     span: Any) -> None:
+        """Append one over-threshold dispatch to the slow-query ring."""
+        column = None
+        extra: Dict[str, Any] = {}
+        if isinstance(request_dict, dict):
+            value = request_dict.get("column")
+            if isinstance(value, str):
+                column = value
+            items = request_dict.get("requests")
+            if kind == "batch_request" and isinstance(items, list):
+                extra["slots"] = len(items)
+        trace_id = None
+        breakdown = None
+        if isinstance(span, Span):
+            trace_id = span.trace_id
+            breakdown = self._obs.tracer.subtree_summary(span) or None
+        self._slow_log.record(
+            kind=str(kind),
+            seconds=elapsed,
+            column=column,
+            trace_id=trace_id,
+            breakdown=breakdown,
+            **extra,
+        )
+
+    # -- telemetry ---------------------------------------------------------------
+
+    @property
+    def slow_query_log(self) -> SlowQueryLog:
+        """The endpoint's bounded slow-dispatch ring."""
+        return self._slow_log
+
+    def register_telemetry_provider(
+        self, name: str, provider: Callable[[], Any]
+    ) -> None:
+        """Export an extra telemetry section.
+
+        ``provider`` is a zero-arg callable returning a JSON-compatible
+        payload, invoked on every :meth:`telemetry` call that selects
+        the section.  Registering the same name again replaces the
+        provider (a restarted server front re-registers its pool).
+        """
+        with self._registry_lock:
+            self._telemetry_providers[str(name)] = provider
+
+    def telemetry(self, sections: Optional[Sequence[str]] = None
+                  ) -> Dict[str, Any]:
+        """The endpoint's live telemetry sections, JSON-compatible.
+
+        Built-in sections: ``metrics`` (registry snapshot), ``tracer``
+        (enabled flag, span count, per-name totals), ``slow_queries``
+        (the ring snapshot), ``catalog`` (hosted columns and shard
+        geometry).  Registered providers add more (the worker-pool
+        server exports ``pool``).  ``sections=None`` serves all;
+        unknown names are silently skipped so older servers stay
+        compatible with newer clients.
+        """
+        tracer = self._obs.tracer
+        available: Dict[str, Callable[[], Any]] = {
+            "metrics": self._obs.metrics.snapshot,
+            "tracer": lambda: {
+                "enabled": tracer.enabled,
+                "spans": len(tracer.spans),
+                "summary": tracer.summary(),
+            },
+            "slow_queries": self._slow_log.snapshot,
+            "catalog": lambda: {
+                "columns": self.column_names,
+                "shards": self.shards(),
+                "batch_workers": self._batch_workers,
+            },
+        }
+        with self._registry_lock:
+            available.update(self._telemetry_providers)
+        wanted = list(available) if sections is None else list(sections)
+        return {
+            name: available[name]() for name in wanted if name in available
+        }
 
     def _serve_one(self, request_dict: Dict[str, Any]):
         """Decode and execute one envelope dict; errors become typed
@@ -438,10 +557,15 @@ class ColumnCatalog:
             key = column if isinstance(column, str) else ("#slot", index)
             groups.setdefault(key, []).append(index)
         responses: List[Optional[Dict[str, Any]]] = [None] * len(items)
+        # Export the enclosing rpc-serve span (dispatch opened it on
+        # this thread) so slot spans running on pool threads still
+        # parent to it — in-process context propagation across the
+        # batch pool.  None when tracing is off.
+        context = self._obs.tracer.wire_context()
 
         def serve_group(indices: List[int]) -> None:
             for index in indices:
-                responses[index] = self._serve_slot(items[index])
+                responses[index] = self._serve_slot(items[index], context)
 
         pool = self._batch_executor() if len(groups) > 1 else None
         if pool is None:
@@ -469,8 +593,17 @@ class ColumnCatalog:
             "responses": responses,
         }
 
-    def _serve_slot(self, item: Any) -> Dict[str, Any]:
-        """Execute one batch slot (nested batches are rejected here)."""
+    def _serve_slot(self, item: Any,
+                    context: Optional[Dict[str, Any]] = None
+                    ) -> Dict[str, Any]:
+        """Execute one batch slot (nested batches are rejected here).
+
+        ``context`` is the enclosing ``rpc-serve`` span's exported
+        trace context; the slot's ``rpc-serve-slot`` span adopts it so
+        slots served on the batch pool stay inside the dispatch's
+        subtree.  A slot envelope's own ``trace`` field (a client that
+        tagged sub-envelopes individually) is the fallback.
+        """
         if isinstance(item, dict) and item.get("kind") == "batch_request":
             self._obs.metrics.add("net.errors")
             return response_to_dict(
@@ -478,7 +611,13 @@ class ColumnCatalog:
                     code="serialization", message="batch requests cannot nest"
                 )
             )
-        return response_to_dict(self._serve_one(item))
+        if context is None and isinstance(item, dict):
+            context = trace_from_wire(item.get("trace"))
+        kind = item.get("kind") if isinstance(item, dict) else None
+        column = item.get("column") if isinstance(item, dict) else None
+        with self._obs.span("rpc-serve-slot", remote=context, kind=kind,
+                            column=column if isinstance(column, str) else None):
+            return response_to_dict(self._serve_one(item))
 
     def _batch_executor(self) -> Optional[ThreadPoolExecutor]:
         """The lazily-created batch pool, or None when parallel batches
@@ -508,6 +647,8 @@ class ColumnCatalog:
         """Execute one decoded request envelope against its column."""
         if isinstance(request, HelloRequest):
             return HelloResponse(codecs=CODECS)
+        if isinstance(request, TelemetryRequest):
+            return TelemetryResponse(sections=self.telemetry(request.sections))
         if isinstance(request, BatchRequest):
             responses = []
             for sub in request.requests:

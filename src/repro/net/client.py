@@ -9,8 +9,11 @@ transfer costs: ``net.bytes_sent`` / ``net.bytes_received`` count
 every exchanged byte, and sessions read :attr:`last_sent_bytes` /
 :attr:`last_received_bytes` to account workload traffic exactly.
 
-Spans: ``transport-encode`` and ``transport-decode`` time the codec,
-``rpc`` times the round trip itself.
+Spans: ``rpc`` wraps the whole operation (it is the unit of
+distributed-trace propagation — its id rides the frame's ``trace``
+field so the server's ``rpc-serve`` span can adopt it as parent), with
+``transport-encode`` and ``transport-decode`` nested inside it timing
+the codec.
 
 Codec negotiation: with the default ``codec="auto"`` the handle's
 first exchange is a JSON-framed ``hello`` listing the codecs this
@@ -66,6 +69,9 @@ from repro.net.protocol import (
     RotateApplyResponse,
     RotateBeginRequest,
     RotateBeginResponse,
+    TelemetryRequest,
+    TelemetryResponse,
+    attach_trace,
     decode_frame,
     encode_frame,
     raise_error_response,
@@ -79,7 +85,12 @@ from repro.obs import Observability
 #: loss: they read state (or negotiate) without mutating it.  Insert,
 #: delete, merge, and the rotation pair are deliberately absent — a
 #: lost response leaves their effect unknown.
-IDEMPOTENT_REQUESTS = (HelloRequest, QueryRequest, FetchRequest)
+IDEMPOTENT_REQUESTS = (
+    HelloRequest,
+    QueryRequest,
+    FetchRequest,
+    TelemetryRequest,
+)
 
 
 class RemoteColumn:
@@ -184,21 +195,34 @@ class RemoteColumn:
 
     def _exchange(self, request):
         kind = type(request).__name__
-        with self._obs.span("transport-encode", kind=kind):
-            frame = encode_frame(request_to_dict(request), codec=self._codec)
-        if self._codec == "binary":
-            self._net_frames_binary.add(1)
-        retryable = isinstance(request, IDEMPOTENT_REQUESTS)
-        retries_before = getattr(self._transport, "retry_count", 0)
-        try:
-            with self._obs.span("rpc", kind=kind, column=self.column):
+        tracer = self._obs.tracer
+        # The rpc span wraps the whole operation (codec work included)
+        # so its id exists before encoding: the frame carries it as the
+        # ``trace`` field and the server's rpc-serve span adopts it.
+        # wire_context() is None when tracing is off — the field is
+        # then omitted and the frame stays byte-identical to untraced
+        # peers'.
+        with self._obs.span("rpc", kind=kind, column=self.column):
+            context = tracer.wire_context()
+            with self._obs.span("transport-encode", kind=kind):
+                frame = encode_frame(
+                    attach_trace(request_to_dict(request), context),
+                    codec=self._codec,
+                )
+            if self._codec == "binary":
+                self._net_frames_binary.add(1)
+            retryable = isinstance(request, IDEMPOTENT_REQUESTS)
+            retries_before = getattr(self._transport, "retry_count", 0)
+            try:
                 reply = self._transport.exchange(frame, retryable=retryable)
-        finally:
-            retried = getattr(self._transport, "retry_count", 0) - retries_before
-            if retried:
-                self._net_retries.add(retried)
-        with self._obs.span("transport-decode", kind=kind):
-            response = response_from_dict(decode_frame(reply))
+            finally:
+                retried = (
+                    getattr(self._transport, "retry_count", 0) - retries_before
+                )
+                if retried:
+                    self._net_retries.add(retried)
+            with self._obs.span("transport-decode", kind=kind):
+                response = response_from_dict(decode_frame(reply))
         self.last_sent_bytes = len(frame)
         self.last_received_bytes = len(reply)
         self._net_sent.add(len(frame))
@@ -286,6 +310,22 @@ class RemoteColumn:
         """Merge the pending buffer; returns the row-count delta."""
         response = self.call(MergeRequest(column=self.column))
         return self._expect(response, MergeResponse).delta
+
+    def telemetry(self, sections: Sequence[str] = None) -> Dict[str, Any]:
+        """Fetch the endpoint's live telemetry snapshot.
+
+        Returns the section dict served by the endpoint's catalog:
+        ``metrics`` (registry snapshot), ``tracer`` (span totals),
+        ``slow_queries`` (the bounded slow-dispatch ring), ``catalog``,
+        and — for a worker-pool endpoint — ``pool``.  ``sections``
+        restricts the reply; unknown names are ignored server-side.
+        """
+        request = TelemetryRequest(
+            sections=None if sections is None
+            else tuple(str(s) for s in sections)
+        )
+        response = self.call(request)
+        return self._expect(response, TelemetryResponse).sections
 
     def rotate_begin(self) -> RotateBeginResponse:
         """Merge pending state and fetch every live row for rotation.

@@ -110,6 +110,21 @@ class BatchRequest:
 
 
 @dataclass(frozen=True)
+class TelemetryRequest:
+    """Fetch the endpoint's live telemetry snapshot.
+
+    Column-less like ``hello`` — it addresses the serving process, not
+    a column.  ``sections`` optionally restricts the reply to named
+    sections (``metrics``, ``tracer``, ``slow_queries``, ``catalog``,
+    ``pool``, ...); ``None`` (omitted from the wire) means *all*.
+    Unknown section names are ignored, so clients stay compatible with
+    servers that export fewer sections.
+    """
+
+    sections: Optional[Tuple[str, ...]] = None
+
+
+@dataclass(frozen=True)
 class CreateColumnRequest:
     """Upload a freshly encrypted column under a name.
 
@@ -213,6 +228,18 @@ class BatchResponse:
     """
 
     responses: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class TelemetryResponse:
+    """The telemetry sections the endpoint serves.
+
+    ``sections`` maps section name to a JSON-compatible payload (the
+    producers guarantee JSON compatibility: metrics snapshots, tracer
+    summaries, slow-query rings, pool state are all plain dicts).
+    """
+
+    sections: Dict[str, Any]
 
 
 @dataclass(frozen=True)
@@ -336,6 +363,7 @@ def raise_error_response(error: ErrorResponse) -> None:
 _REQUEST_KINDS = {
     HelloRequest: "hello",
     BatchRequest: "batch_request",
+    TelemetryRequest: "telemetry_request",
     CreateColumnRequest: "create_column",
     QueryRequest: "query_request",
     FetchRequest: "fetch_request",
@@ -349,6 +377,7 @@ _REQUEST_KINDS = {
 _RESPONSE_KINDS = {
     HelloResponse: "hello_response",
     BatchResponse: "batch_response",
+    TelemetryResponse: "telemetry_response",
     CreateColumnResponse: "create_column_response",
     QueryResponse: "query_response",
     FetchResponse: "fetch_response",
@@ -405,6 +434,77 @@ def _codecs_from_list(items) -> Tuple[str, ...]:
     ):
         raise SerializationError("codecs must be a list of strings")
     return tuple(items)
+
+
+def _sections_filter_from_list(items) -> Tuple[str, ...]:
+    if not isinstance(items, list) or not all(
+        isinstance(item, str) for item in items
+    ):
+        raise SerializationError(
+            "telemetry sections filter must be a list of strings"
+        )
+    return tuple(items)
+
+
+def _sections_payload_from_dict(data) -> Dict[str, Any]:
+    if not isinstance(data, dict) or not all(
+        isinstance(key, str) for key in data
+    ):
+        raise SerializationError(
+            "telemetry sections must be an object with string keys"
+        )
+    return dict(data)
+
+
+# -- trace-context propagation ---------------------------------------------
+
+
+#: Keys of the optional ``trace`` field a request envelope may carry.
+TRACE_KEYS = ("trace_id", "parent", "sampled")
+
+
+def trace_from_wire(data) -> Optional[Dict[str, Any]]:
+    """Decode an envelope's optional ``trace`` field.
+
+    Returns a validated ``{"trace_id", "parent", "sampled"}`` dict, or
+    ``None`` when the field is absent **or malformed** — tracing is
+    observability metadata and must never fail a request, so a bad
+    trace field degrades to an untraced dispatch rather than an error
+    envelope.
+    """
+    if not isinstance(data, dict):
+        return None
+    trace_id = data.get("trace_id")
+    parent = data.get("parent")
+    sampled = data.get("sampled", True)
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    if not isinstance(parent, str) or not parent:
+        return None
+    if not isinstance(sampled, bool):
+        return None
+    return {"trace_id": trace_id, "parent": parent, "sampled": sampled}
+
+
+def attach_trace(payload: Dict[str, Any],
+                 context: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """Inject a trace context into an encoded request envelope dict.
+
+    Mutates and returns ``payload``.  ``None`` context is a no-op, so
+    untraced peers keep emitting byte-identical frames (the ``trace``
+    key is simply never present).  A ``batch_request`` envelope gets
+    the context copied onto every sub-envelope too, so batched (and
+    sharded — shard fan-out rides batches) sub-operations stay linked
+    even if a peer re-dispatches them individually.
+    """
+    if context is None:
+        return payload
+    payload["trace"] = dict(context)
+    if payload.get("kind") == "batch_request":
+        for sub in payload.get("requests") or ():
+            if isinstance(sub, dict):
+                sub["trace"] = dict(context)
+    return payload
 
 
 #: Keys a shard descriptor carries on the wire.
@@ -474,6 +574,12 @@ def request_to_dict(request) -> Dict[str, Any]:
                 raise SerializationError("batch requests cannot nest")
             items.append(request_to_dict(sub))
         return _envelope(kind, requests=items)
+    if isinstance(request, TelemetryRequest):
+        payload = _envelope(kind)
+        # Omitted when None (= all sections) to keep the frame minimal.
+        if request.sections is not None:
+            payload["sections"] = [str(s) for s in request.sections]
+        return payload
     if isinstance(request, CreateColumnRequest):
         payload = _envelope(
             kind,
@@ -532,6 +638,12 @@ def request_from_dict(data: Dict[str, Any]):
                     raise SerializationError("batch requests cannot nest")
                 subs.append(request_from_dict(item))
             return BatchRequest(requests=tuple(subs))
+        if kind == "telemetry_request":
+            sections = data.get("sections")
+            return TelemetryRequest(
+                sections=None if sections is None
+                else _sections_filter_from_list(sections)
+            )
         column = data["column"]
         if not isinstance(column, str) or not column:
             raise SerializationError("column name must be a non-empty string")
@@ -582,6 +694,10 @@ def response_to_dict(response) -> Dict[str, Any]:
         return _envelope(
             kind, responses=[response_to_dict(sub) for sub in response.responses]
         )
+    if isinstance(response, TelemetryResponse):
+        return _envelope(
+            kind, sections=_sections_payload_from_dict(response.sections)
+        )
     if isinstance(response, CreateColumnResponse):
         return _envelope(
             kind, column=response.column, rows_stored=int(response.rows_stored)
@@ -622,6 +738,10 @@ def response_from_dict(data: Dict[str, Any]):
                 raise SerializationError("batch responses must be a list")
             return BatchResponse(
                 responses=tuple(response_from_dict(item) for item in items)
+            )
+        if kind == "telemetry_response":
+            return TelemetryResponse(
+                sections=_sections_payload_from_dict(data["sections"])
             )
         if kind == "create_column_response":
             return CreateColumnResponse(

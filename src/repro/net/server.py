@@ -123,6 +123,13 @@ class CatalogTCPServer:
         )
         self._queue: "queue.Queue" = queue.Queue(maxsize=self.queue_size)
         self._metrics = self.catalog.obs.metrics
+        # Queue depth is tracked with an explicit lock-guarded counter
+        # (incremented on enqueue, decremented on dequeue) rather than
+        # sampling qsize(): the last update always writes the true
+        # depth, so the gauge decays back to 0 when the queue drains
+        # instead of sticking at its high-water mark.
+        self._depth = 0
+        self._depth_lock = threading.Lock()
         self._connections = set()
         self._connections_lock = threading.Lock()
         self._reader_threads = set()
@@ -143,6 +150,27 @@ class CatalogTCPServer:
         self._metrics.set("net.workers", self.workers)
         self._metrics.set("net.queue_depth", 0)
         self._metrics.set("net.active_connections", 0)
+        self.catalog.register_telemetry_provider("pool", self._pool_telemetry)
+
+    def _pool_telemetry(self) -> dict:
+        """The ``pool`` telemetry section: live worker-pool state."""
+        with self._depth_lock:
+            depth = self._depth
+        with self._connections_lock:
+            active = len(self._connections)
+        return {
+            "workers": self.workers,
+            "queue_size": self.queue_size,
+            "queue_depth": depth,
+            "max_connections": self.max_connections,
+            "active_connections": active,
+            "draining": self._draining.is_set(),
+        }
+
+    def _track_depth(self, delta: int) -> None:
+        with self._depth_lock:
+            self._depth = max(0, self._depth + delta)
+            self._metrics.set("net.queue_depth", self._depth)
 
     # -- serving -----------------------------------------------------------------
 
@@ -241,7 +269,7 @@ class CatalogTCPServer:
                         % (self.workers, self.queue_size),
                     )
                     continue
-                self._metrics.set("net.queue_depth", self._queue.qsize())
+                self._track_depth(+1)
                 done.wait()
         finally:
             self._forget(connection)
@@ -249,18 +277,23 @@ class CatalogTCPServer:
                 self._reader_threads.discard(threading.current_thread())
 
     def _worker_loop(self) -> None:
+        obs = self.catalog.obs
         while True:
             item = self._queue.get()
             if item is _STOP:
                 return
+            self._track_depth(-1)
             connection, payload, done = item
             try:
-                self._serve_frame(connection, payload)
+                # The span records the exception type on exit, so a
+                # swallowed failure still shows up in the trace.
+                with obs.span("serve-frame"):
+                    self._serve_frame(connection, payload)
             except Exception:
                 # A connection-level failure (or a defect in an engine
                 # below the catalog's own isolation) must never kill a
-                # pool worker.
-                pass
+                # pool worker — but it is counted, never silent.
+                self._metrics.add("net.worker_errors")
             finally:
                 done.set()
 
@@ -368,6 +401,7 @@ class CatalogTCPServer:
                 break
             if item is _STOP:
                 continue
+            self._track_depth(-1)
             connection, payload, done = item
             self._refuse(connection, payload, "endpoint draining")
             done.set()

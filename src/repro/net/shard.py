@@ -180,9 +180,17 @@ class ShardedRemoteColumn:
     # -- batching helpers --------------------------------------------------------
 
     def _call_many(self, requests: Sequence, fanout: int) -> List:
-        """One scatter-gather round trip; re-raises the first slot error."""
+        """One scatter-gather round trip; re-raises the first slot error.
+
+        The ``shard-fanout`` span parents the carrier's ``rpc`` span,
+        so a distributed trace shows which fan-out caused each batched
+        round trip (the trace context rides the batch envelope and its
+        sub-envelopes).
+        """
         self._fanout.observe(fanout)
-        responses = self._carrier.call_many(requests)
+        with self._obs.span("shard-fanout", column=self.column,
+                            shards=self.shard_count, fanout=fanout):
+            responses = self._carrier.call_many(requests)
         for response in responses:
             if isinstance(response, ErrorResponse):
                 raise_error_response(response)

@@ -35,8 +35,16 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    render_snapshot,
 )
-from repro.obs.tracing import NULL_SPAN, Span, Tracer
+from repro.obs.telemetry import SlowQueryLog
+from repro.obs.tracing import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    load_trace_jsonl,
+    merge_traces,
+)
 
 
 class Observability:
@@ -55,11 +63,11 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.audit = AuditLog(enabled=audit)
 
-    def span(self, name: str, **attrs):
+    def span(self, name: str, remote=None, **attrs):
         """Shorthand for ``self.tracer.span(...)``."""
         if not self.tracer.enabled:
             return NULL_SPAN
-        return self.tracer.span(name, **attrs)
+        return self.tracer.span(name, remote=remote, **attrs)
 
     def snapshot(self) -> dict:
         """The metrics snapshot dict (see ``MetricsRegistry.snapshot``)."""
@@ -75,6 +83,10 @@ __all__ = [
     "MetricsRegistry",
     "NULL_SPAN",
     "Observability",
+    "SlowQueryLog",
     "Span",
     "Tracer",
+    "load_trace_jsonl",
+    "merge_traces",
+    "render_snapshot",
 ]

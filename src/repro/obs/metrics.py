@@ -293,37 +293,46 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """Human-readable fixed-width rendering of :meth:`snapshot`."""
-        snap = self.snapshot()
-        lines: List[str] = []
-        if snap["counters"]:
-            lines.append("counters:")
-            width = max(len(name) for name in snap["counters"])
-            for name, value in snap["counters"].items():
-                lines.append("  %-*s  %s" % (width, name, _fmt(value)))
-        if snap["gauges"]:
-            lines.append("gauges:")
-            width = max(len(name) for name in snap["gauges"])
-            for name, value in snap["gauges"].items():
-                lines.append("  %-*s  %s" % (width, name, _fmt(value)))
-        if snap["histograms"]:
-            lines.append("histograms:")
-            width = max(len(name) for name in snap["histograms"])
-            for name, summary in snap["histograms"].items():
-                lines.append(
-                    "  %-*s  count=%d sum=%s min=%s p50=%s p90=%s p99=%s max=%s"
-                    % (
-                        width,
-                        name,
-                        summary["count"],
-                        _fmt(summary["sum"]),
-                        _fmt(summary["min"]),
-                        _fmt(summary["p50"]),
-                        _fmt(summary["p90"]),
-                        _fmt(summary["p99"]),
-                        _fmt(summary["max"]),
-                    )
+        return render_snapshot(self.snapshot())
+
+
+def render_snapshot(snap: Dict[str, Dict]) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict.
+
+    Module-level so a snapshot fetched over the wire (``repro stats
+    --connect``) renders byte-identically to what the serving process
+    would print locally.
+    """
+    lines: List[str] = []
+    if snap["counters"]:
+        lines.append("counters:")
+        width = max(len(name) for name in snap["counters"])
+        for name, value in snap["counters"].items():
+            lines.append("  %-*s  %s" % (width, name, _fmt(value)))
+    if snap["gauges"]:
+        lines.append("gauges:")
+        width = max(len(name) for name in snap["gauges"])
+        for name, value in snap["gauges"].items():
+            lines.append("  %-*s  %s" % (width, name, _fmt(value)))
+    if snap["histograms"]:
+        lines.append("histograms:")
+        width = max(len(name) for name in snap["histograms"])
+        for name, summary in snap["histograms"].items():
+            lines.append(
+                "  %-*s  count=%d sum=%s min=%s p50=%s p90=%s p99=%s max=%s"
+                % (
+                    width,
+                    name,
+                    summary["count"],
+                    _fmt(summary["sum"]),
+                    _fmt(summary["min"]),
+                    _fmt(summary["p50"]),
+                    _fmt(summary["p90"]),
+                    _fmt(summary["p99"]),
+                    _fmt(summary["max"]),
                 )
-        return "\n".join(lines) if lines else "(no metrics recorded)"
+            )
+    return "\n".join(lines) if lines else "(no metrics recorded)"
 
 
 def _fmt(value: Optional[Number]) -> str:

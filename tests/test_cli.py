@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import json
+import threading
+
 import numpy as np
 import pytest
 
@@ -159,3 +162,96 @@ class TestSqlAmbiguity:
         )
         assert code == 2
         assert "requires encrypted" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def live_endpoint():
+    """A live ``repro serve``-equivalent endpoint for --connect tests."""
+    from repro.net import serve
+
+    server = serve()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        thread.join(timeout=5)
+
+
+class TestStatsAndTrace:
+    def test_stats_workload_mode_still_renders(self, capsys, column_file):
+        assert main(["stats", column_file, "--range", "15", "35"]) == 0
+        assert "net.requests" in capsys.readouterr().out
+
+    def test_stats_without_file_or_connect_fails(self, capsys):
+        assert main(["stats"]) == 2
+        assert "--connect" in capsys.readouterr().err
+
+    def test_stats_connect_live_endpoint(self, capsys, live_endpoint):
+        host, port = live_endpoint.server_address
+        code = main(["stats", "--connect", "%s:%d" % (host, port)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "net.requests" in out
+        assert "pool:" in out
+        assert "tracer: disabled" in out
+
+    def test_stats_connect_json_matches_server(self, capsys, live_endpoint):
+        host, port = live_endpoint.server_address
+        code = main(["stats", "--connect", "%s:%d" % (host, port),
+                     "--json"])
+        assert code == 0
+        sections = json.loads(capsys.readouterr().out)
+        local = live_endpoint.catalog.obs.metrics.snapshot()
+        # The counters the server would render locally, over the wire.
+        assert sections["metrics"]["counters"] == local["counters"]
+
+    def test_trace_workload_mode_still_dumps(self, capsys, column_file,
+                                             tmp_path):
+        out_path = str(tmp_path / "trace.jsonl")
+        code = main(["trace", column_file, "--range", "15", "35",
+                     "--output", out_path])
+        assert code == 0
+        assert "spans to" in capsys.readouterr().out
+
+    def test_trace_without_file_or_merge_fails(self, capsys):
+        assert main(["trace"]) == 2
+        assert "--merge" in capsys.readouterr().err
+
+    def test_trace_merge_stitches_dumps(self, capsys, tmp_path):
+        from repro.obs import Tracer
+
+        client, server = Tracer(enabled=True), Tracer(enabled=True)
+        with client.span("rpc", kind="QueryRequest"):
+            ctx = client.wire_context()
+        with server.span("rpc-serve", remote=ctx):
+            pass
+        client_path = str(tmp_path / "client.jsonl")
+        server_path = str(tmp_path / "server.jsonl")
+        merged_path = str(tmp_path / "merged.jsonl")
+        client.dump_jsonl(client_path)
+        server.dump_jsonl(server_path)
+        code = main(["trace", "--merge", client_path, server_path,
+                     "--output", merged_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "merged 2 spans from 2 dumps" in out
+        records = [json.loads(line)
+                   for line in open(merged_path) if line.strip()]
+        assert [r["tree_depth"] for r in records] == [0, 1]
+
+
+class TestTop:
+    def test_single_iteration_renders(self, capsys, live_endpoint):
+        host, port = live_endpoint.server_address
+        code = main(["top", "--connect", "%s:%d" % (host, port),
+                     "--iterations", "1", "--interval", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "pool:" in out
+
+    def test_connect_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["top"])

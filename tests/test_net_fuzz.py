@@ -51,6 +51,8 @@ from repro.net.protocol import (
     RotateApplyResponse,
     RotateBeginRequest,
     RotateBeginResponse,
+    TelemetryRequest,
+    TelemetryResponse,
     decode_frame,
     encode_frame,
     request_from_dict,
@@ -132,6 +134,26 @@ def make_column(rng):
     return rng.choice(COLUMN_NAMES)
 
 
+#: Telemetry section names (real ones plus unknowns the server skips).
+SECTION_NAMES = ("metrics", "tracer", "pool", "slow_queries", "catalog",
+                 "λ-section", "not-a-section")
+
+
+def make_telemetry_sections(rng):
+    """A hostile-but-valid telemetry payload: nested dicts, floats,
+    unicode, empty sections.  Lists only (tuples decode as lists)."""
+    payload = {}
+    for name in rng.sample(SECTION_NAMES, rng.randint(0, 4)):
+        payload[name] = {
+            "count": rng.choice(BOUNDARY_IDS),
+            "seconds": rng.random() * 100.0,
+            "names": [rng.choice(COLUMN_NAMES)
+                      for _ in range(rng.randint(0, 3))],
+            "nested": {"enabled": rng.random() < 0.5, "note": None},
+        }
+    return payload
+
+
 def make_server_response(rng):
     rows = make_rows(rng)
     return ServerResponse(
@@ -176,6 +198,13 @@ REQUEST_MAKERS = {
         row_ids=make_ids(rng),
         fence=rng.choice((None, 0, 7, 2 ** 40)),
     ),
+    TelemetryRequest: lambda rng: TelemetryRequest(
+        sections=rng.choice((
+            None,
+            (),
+            tuple(rng.sample(SECTION_NAMES, rng.randint(1, 4))),
+        ))
+    ),
 }
 
 RESPONSE_MAKERS = {
@@ -200,6 +229,9 @@ RESPONSE_MAKERS = {
     ),
     RotateApplyResponse: lambda rng: RotateApplyResponse(
         rows_stored=rng.choice(BOUNDARY_IDS)
+    ),
+    TelemetryResponse: lambda rng: TelemetryResponse(
+        sections=make_telemetry_sections(rng)
     ),
     ErrorResponse: lambda rng: ErrorResponse(
         code=rng.choice(("query", "update", "serialization", "made-up")),

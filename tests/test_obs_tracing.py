@@ -1,0 +1,294 @@
+"""Distributed-tracing unit tests: span identity, remote adoption,
+thread safety, trace merging, and the slow-query log.
+
+The integration side (a real TCP session producing one merged
+client+server tree) lives in ``tests/test_net_distributed_trace.py``;
+this file pins down the :class:`~repro.obs.tracing.Tracer` mechanics
+those tests rely on.
+"""
+
+import re
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, SlowQueryLog, Tracer, merge_traces
+from repro.obs.tracing import load_trace_jsonl
+
+SPAN_ID = re.compile(r"^[0-9a-f]{8}-[0-9a-f]+$")
+TRACE_ID = re.compile(r"^[0-9a-f]{16}$")
+
+
+class TestSpanIdentity:
+    def test_span_and_trace_id_formats(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as span:
+            assert SPAN_ID.match(span.span_id)
+            assert TRACE_ID.match(span.trace_id)
+        assert span.parent_id is None
+
+    def test_span_ids_share_the_tracer_prefix(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as a:
+            pass
+        with tracer.span("b") as b:
+            pass
+        assert a.span_id.split("-")[0] == tracer.trace_prefix
+        assert b.span_id.split("-")[0] == tracer.trace_prefix
+        assert a.span_id != b.span_id
+
+    def test_two_tracers_never_collide(self):
+        ids = set()
+        for _ in range(4):
+            tracer = Tracer(enabled=True)
+            with tracer.span("x") as span:
+                pass
+            ids.add(span.span_id)
+        assert len(ids) == 4
+
+    def test_children_inherit_trace_id_and_parent_id(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        with tracer.span("next-root") as other:
+            assert other.trace_id != outer.trace_id
+
+    def test_to_dict_carries_identity_fields(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.to_dicts()
+        assert outer["span_id"] and outer["trace_id"]
+        assert "parent_id" not in outer
+        assert inner["parent_id"] == outer["span_id"]
+        assert inner["trace_id"] == outer["trace_id"]
+
+
+class TestWireContext:
+    def test_disabled_tracer_exports_nothing(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.wire_context() is None
+
+    def test_no_active_span_exports_nothing(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.wire_context() is None
+
+    def test_active_span_exports_its_identity(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("rpc") as span:
+            ctx = tracer.wire_context()
+        assert ctx == {"trace_id": span.trace_id, "parent": span.span_id,
+                       "sampled": True}
+
+    def test_remote_adoption_links_across_tracers(self):
+        client = Tracer(enabled=True)
+        server = Tracer(enabled=True)
+        with client.span("rpc") as rpc:
+            ctx = client.wire_context()
+        with server.span("rpc-serve", remote=ctx) as serve:
+            pass
+        assert serve.trace_id == rpc.trace_id
+        assert serve.parent_id == rpc.span_id
+        # Local nesting below the adopted span stays in the same trace.
+        with server.span("rpc-serve", remote=ctx):
+            with server.span("engine") as engine:
+                assert engine.trace_id == rpc.trace_id
+
+    def test_sampled_false_suppresses_the_span(self):
+        server = Tracer(enabled=True)
+        ctx = {"trace_id": "ab" * 8, "parent": "cafe0000-1",
+               "sampled": False}
+        assert server.span("rpc-serve", remote=ctx) is NULL_SPAN
+        assert server.spans == []
+
+    def test_disabled_tracer_ignores_remote_context(self):
+        server = Tracer(enabled=False)
+        ctx = {"trace_id": "ab" * 8, "parent": "cafe0000-1",
+               "sampled": True}
+        assert server.span("rpc-serve", remote=ctx) is NULL_SPAN
+
+
+class TestThreadSafety:
+    def test_per_thread_stacks_keep_parents_intra_thread(self):
+        tracer = Tracer(enabled=True)
+        threads, errors = [], []
+
+        def worker(name):
+            try:
+                for _ in range(50):
+                    with tracer.span("outer", thread=name) as outer:
+                        with tracer.span("inner", thread=name) as inner:
+                            assert inner.parent == outer.index
+                            assert inner.parent_id == outer.span_id
+                            assert inner.attrs["thread"] == \
+                                outer.attrs["thread"] == name
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        for i in range(8):
+            thread = threading.Thread(target=worker, args=("t%d" % i,))
+            threads.append(thread)
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(tracer.spans) == 8 * 50 * 2
+        # Index assignment stayed race-free: ids are unique and match
+        # each span's position in the record list.
+        assert len({span.span_id for span in tracer.spans}) == 800
+        for index, span in enumerate(tracer.spans):
+            assert span.index == index
+        # Every inner span's parent is an outer span from its own thread.
+        by_id = {span.span_id: span for span in tracer.spans}
+        for span in tracer.spans:
+            if span.name == "inner":
+                parent = by_id[span.parent_id]
+                assert parent.name == "outer"
+                assert parent.attrs["thread"] == span.attrs["thread"]
+
+    def test_main_thread_stack_is_isolated(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("main-root"):
+            seen = []
+
+            def worker():
+                seen.append(tracer.current_span)
+                with tracer.span("worker-root") as span:
+                    seen.append(span.parent_id)
+
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # The worker saw no inherited stack: no current span, and its
+        # root span had no parent.
+        assert seen == [None, None]
+
+
+class TestSubtreeSummary:
+    def test_includes_adopted_descendants_only(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("rpc-serve") as root:
+            ctx = tracer.wire_context()
+        with tracer.span("unrelated"):
+            pass
+
+        def slot():
+            with tracer.span("rpc-serve-slot", remote=ctx):
+                with tracer.span("engine"):
+                    pass
+
+        thread = threading.Thread(target=slot)
+        thread.start()
+        thread.join()
+        summary = tracer.subtree_summary(root)
+        assert set(summary) == {"rpc-serve-slot", "engine"}
+        assert summary["engine"]["count"] == 1
+
+    def test_null_span_yields_empty_summary(self):
+        tracer = Tracer(enabled=True)
+        assert tracer.subtree_summary(NULL_SPAN) == {}
+
+
+class TestMergeTraces:
+    def _dump(self, tracer):
+        return tracer.to_dicts()
+
+    def test_client_server_dumps_form_one_tree(self):
+        client = Tracer(enabled=True)
+        server = Tracer(enabled=True)
+        with client.span("rpc"):
+            ctx = client.wire_context()
+            with server.span("rpc-serve", remote=ctx):
+                with server.span("engine"):
+                    pass
+        merged = merge_traces(self._dump(client), self._dump(server))
+        assert [r["name"] for r in merged] == ["rpc", "rpc-serve", "engine"]
+        assert [r["tree_depth"] for r in merged] == [0, 1, 2]
+
+    def test_duplicate_span_ids_collapse(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("rpc"):
+            pass
+        dump = self._dump(tracer)
+        merged = merge_traces(dump, dump)
+        assert len(merged) == 1
+
+    def test_missing_parent_becomes_root(self):
+        orphan = {"name": "lost", "span_id": "dead0000-1",
+                  "parent_id": "beef0000-9", "start": 1.0}
+        merged = merge_traces([orphan])
+        assert merged[0]["tree_depth"] == 0
+
+    def test_round_trips_through_jsonl(self, tmp_path):
+        client = Tracer(enabled=True)
+        server = Tracer(enabled=True)
+        with client.span("rpc"):
+            ctx = client.wire_context()
+        with server.span("rpc-serve", remote=ctx):
+            pass
+        client_path = str(tmp_path / "client.jsonl")
+        server_path = str(tmp_path / "server.jsonl")
+        client.dump_jsonl(client_path)
+        server.dump_jsonl(server_path)
+        merged = merge_traces(load_trace_jsonl(client_path),
+                              load_trace_jsonl(server_path))
+        assert [r["name"] for r in merged] == ["rpc", "rpc-serve"]
+        assert merged[1]["parent_id"] == merged[0]["span_id"]
+
+
+class TestSlowQueryLog:
+    def test_threshold_zero_records_everything(self):
+        log = SlowQueryLog(threshold=0.0, capacity=8)
+        log.record("query_request", 0.001, column="values")
+        assert len(log) == 1
+        (entry,) = log.entries()
+        assert entry["kind"] == "query_request"
+        assert entry["column"] == "values"
+        assert entry["seconds"] == pytest.approx(0.001)
+
+    def test_capacity_bounds_the_ring(self):
+        log = SlowQueryLog(threshold=0.0, capacity=4)
+        for i in range(10):
+            log.record("query_request", float(i))
+        snapshot = log.snapshot()
+        assert snapshot["recorded"] == 10
+        assert len(snapshot["entries"]) == 4
+        # Oldest entries fell off the ring.
+        assert [e["seconds"] for e in snapshot["entries"]] == \
+            [6.0, 7.0, 8.0, 9.0]
+
+    def test_optional_fields_only_present_when_given(self):
+        log = SlowQueryLog(threshold=0.0, capacity=4)
+        log.record("merge_request", 0.5)
+        log.record("batch_request", 0.7, trace_id="ab" * 8,
+                   breakdown={"engine": {"count": 1, "seconds": 0.4}},
+                   slots=3)
+        bare, full = log.entries()
+        assert "trace_id" not in bare and "breakdown" not in bare
+        assert full["trace_id"] == "ab" * 8
+        assert full["slots"] == 3
+        assert full["breakdown"]["engine"]["count"] == 1
+
+    def test_clear_resets_counts(self):
+        log = SlowQueryLog(threshold=0.0, capacity=4)
+        log.record("query_request", 1.0)
+        log.clear()
+        assert len(log) == 0
+        assert log.snapshot()["recorded"] == 0
+
+    def test_concurrent_record_is_safe(self):
+        log = SlowQueryLog(threshold=0.0, capacity=1000)
+        threads = [
+            threading.Thread(
+                target=lambda: [log.record("query_request", 0.1)
+                                for _ in range(100)])
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert log.snapshot()["recorded"] == 800
