@@ -12,7 +12,10 @@ pipelined batches — against the same data and reports:
   here), and the binary/JSON byte ratio (the codec's reduction factor,
   asserted >= 2x);
 * the loopback-vs-TCP latency gap, and the speedup from shipping the
-  workload in pipelined ``batch_request`` frames over TCP.
+  workload in pipelined ``batch_request`` frames over TCP;
+* a durability matrix — acked-insert throughput per WAL fsync policy
+  (off/never/batch/always) and read throughput per replica count
+  (0/1/2 with ``ReplicaSet`` routing at zero staleness).
 
 Emits ``BENCH_transport.json`` under ``benchmarks/results/``.
 
@@ -34,19 +37,27 @@ _SRC = os.path.join(os.path.dirname(_HERE), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+import tempfile
+
 import numpy as np
 
 from repro.bench.reporting import RESULTS_DIR
 from repro.core.client import TrustedClient
 from repro.core.session import OutsourcedDatabase
+from repro.core.wal import WalWriter
 from repro.crypto.key import generate_key
 from repro.net import (
+    ColumnCatalog,
+    LoopbackTransport,
     RemoteColumn,
+    ReplicaSet,
+    ReplicationClient,
     ShardedRemoteColumn,
     TcpTransport,
     ThreadPerConnectionServer,
     serve,
 )
+from repro.obs import Observability
 from repro.workloads.generators import random_workload
 
 SMOKE = os.environ.get("REPRO_BENCH_FAST") == "1"
@@ -358,6 +369,122 @@ def bench_sharded(size: int, ops: int) -> dict:
     return out
 
 
+#: Fsync policies for the durability write matrix (None = no WAL).
+FSYNC_MATRIX = (None, "never", "batch", "always")
+
+#: Replica counts for the read-routing matrix.
+REPLICA_MATRIX = (0, 1, 2)
+
+
+def _durable_insert_rate(fsync, directory: str, ops: int) -> dict:
+    """Acked-insert throughput under one WAL fsync policy.
+
+    ``fsync=None`` runs without a WAL at all — the in-memory baseline
+    every policy's overhead is measured against.
+    """
+    catalog = ColumnCatalog()
+    writer = None
+    if fsync is not None:
+        writer = WalWriter(directory, fsync=fsync)
+        catalog.bind_wal(writer)
+    db = OutsourcedDatabase(
+        list(range(64)), seed=41, min_piece_size=8,
+        transport=LoopbackTransport(catalog), column="durable",
+    )
+    tick = time.perf_counter()
+    for step in range(ops):
+        db.insert(10_000 + step)
+    wall = time.perf_counter() - tick
+    metrics = catalog.obs.metrics
+    out = {
+        "fsync": fsync or "off",
+        "inserts_per_second": _ratio(ops, wall),
+        "wal_appends": metrics.counter_value("wal.appends"),
+        "wal_bytes": metrics.counter_value("wal.bytes"),
+        "wal_fsyncs": metrics.counter_value("wal.fsyncs"),
+    }
+    if writer is not None:
+        writer.close()
+    return out
+
+
+def _replica_read_rate(replica_count: int, directory: str, ops: int) -> dict:
+    """Read throughput and routing mix at one replica count.
+
+    0 replicas is the plain-primary baseline; otherwise a
+    :class:`ReplicaSet` routes the read loop across caught-up replicas
+    under a zero-staleness bound (the strictest setting — every read
+    must still be epoch-current).
+    """
+    primary = ColumnCatalog()
+    primary.bind_wal(WalWriter(directory, fsync="never"))
+    db = OutsourcedDatabase(
+        list(range(256)), seed=43, min_piece_size=8,
+        transport=LoopbackTransport(primary), column="durable",
+    )
+    query = db.client.make_query(0, 256)
+    replicas = []
+    for index in range(replica_count):
+        follower = ColumnCatalog()
+        follower.set_read_only("primary.bench:9045")
+        feed = ReplicationClient(
+            follower, LoopbackTransport(primary), "bench-%d" % index,
+            poll_interval=0.01,
+        )
+        feed.sync_once()
+        replicas.append(follower)
+    obs = Observability()
+    if replica_count:
+        transport = ReplicaSet(
+            LoopbackTransport(primary),
+            [LoopbackTransport(follower) for follower in replicas],
+            max_staleness_epochs=0,
+            obs=obs,
+        )
+    else:
+        transport = LoopbackTransport(primary)
+    handle = RemoteColumn(transport, "durable")
+    tick = time.perf_counter()
+    for _ in range(ops):
+        handle.query(query)
+    wall = time.perf_counter() - tick
+    return {
+        "replicas": replica_count,
+        "reads_per_second": _ratio(ops, wall),
+        "replica_reads": obs.metrics.counter_value(
+            "replicaset.reads_replica"
+        ),
+        "primary_reads": obs.metrics.counter_value(
+            "replicaset.reads_primary"
+        ),
+    }
+
+
+def bench_durability(ops: int) -> dict:
+    """Durability matrix: fsync policy x replica count.
+
+    The write side prices each WAL fsync policy against the no-WAL
+    baseline; the read side shows the ReplicaSet spreading a read loop
+    across caught-up replicas.
+    """
+    out = {"ops": ops, "fsync": {}, "replicas": {}}
+    for fsync in FSYNC_MATRIX:
+        with tempfile.TemporaryDirectory() as directory:
+            out["fsync"][fsync or "off"] = _durable_insert_rate(
+                fsync, directory, ops
+            )
+    for count in REPLICA_MATRIX:
+        with tempfile.TemporaryDirectory() as directory:
+            out["replicas"][str(count)] = _replica_read_rate(
+                count, directory, ops
+            )
+    out["fsync_always_overhead"] = _ratio(
+        out["fsync"]["off"]["inserts_per_second"],
+        out["fsync"]["always"]["inserts_per_second"],
+    )
+    return out
+
+
 def _ratio(numerator: float, denominator: float) -> float:
     return numerator / denominator if denominator else 0.0
 
@@ -373,6 +500,7 @@ def main(smoke: bool = SMOKE, output: str = None) -> dict:
         if smoke
         else bench_sharded(size=384_000, ops=16)
     )
+    result["durability"] = bench_durability(ops=40 if smoke else 200)
     report = {
         "benchmark": "transport",
         "mode": "smoke" if smoke else "full",
@@ -427,6 +555,32 @@ def main(smoke: bool = SMOKE, output: str = None) -> dict:
             os.cpu_count() or 1,
         )
     )
+    durability = report["durability"]
+    for policy in ("off", "never", "batch", "always"):
+        entry = durability["fsync"][policy]
+        print(
+            "wal fsync=%-7s %7.0f inserts/s  %d appends  %d fsyncs"
+            % (
+                policy,
+                entry["inserts_per_second"],
+                entry["wal_appends"],
+                entry["wal_fsyncs"],
+            )
+        )
+    for count in REPLICA_MATRIX:
+        entry = durability["replicas"][str(count)]
+        print(
+            "replicas=%d        %7.0f reads/s  %d via replica / %d via "
+            "primary"
+            % (
+                count,
+                entry["reads_per_second"],
+                entry["replica_reads"],
+                entry["primary_reads"],
+            )
+        )
+    print("fsync=always overhead: %.2fx slower than no WAL"
+          % durability["fsync_always_overhead"])
     print("wrote %s" % output)
     return report
 
@@ -474,6 +628,30 @@ def test_transport_bench():
         or (os.cpu_count() or 1) >= 4
     ):
         assert sharded["sharded_vs_single_16"] >= 1.5, sharded
+    # Durability matrix: every fsync policy sustains acked inserts and
+    # logs one WAL append per mutation; fsync=always actually fsyncs.
+    durability = report["durability"]
+    for policy in ("off", "never", "batch", "always"):
+        assert durability["fsync"][policy]["inserts_per_second"] > 0
+    assert durability["fsync"]["off"]["wal_appends"] == 0
+    # create_column + N inserts, one record each.
+    assert (
+        durability["fsync"]["always"]["wal_appends"]
+        == 1 + durability["ops"]
+    )
+    assert (
+        durability["fsync"]["always"]["wal_fsyncs"]
+        >= durability["fsync"]["always"]["wal_appends"]
+    )
+    assert durability["fsync"]["never"]["wal_fsyncs"] == 0
+    # With caught-up replicas and no session writes, the read loop is
+    # served by replicas, not the primary.
+    for count in REPLICA_MATRIX:
+        entry = durability["replicas"][str(count)]
+        assert entry["reads_per_second"] > 0
+        if count:
+            assert entry["replica_reads"] > 0
+            assert entry["primary_reads"] == 0
 
 
 if __name__ == "__main__":

@@ -20,9 +20,12 @@ Eight subcommands cover the common operator flows:
   telemetry (requests, queue depth, slow queries).
 * ``sql``    — load one or more CSV tables (encrypted by default) and
   execute a SQL statement from the supported subset.
-* ``serve``  — host an empty column catalog on a TCP port; remote
-  clients upload and query columns through the wire protocol
-  (``--trace FILE`` dumps the server-side span JSONL on shutdown).
+* ``serve``  — host a column catalog on a TCP port; remote clients
+  upload and query columns through the wire protocol.  ``--wal DIR``
+  makes it durable (recover on start, journal every mutation,
+  checkpoint on shutdown); ``--replica-of HOST:PORT`` turns it into a
+  warm read replica streaming the primary's WAL; ``--trace FILE``
+  dumps the server-side span JSONL on shutdown (SIGTERM included).
 * ``keygen`` — generate a secret key and print its JSON serialization
   (for sharing between trusted clients out of band).
 
@@ -179,6 +182,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--slow-query-capacity", type=int, default=64, metavar="N",
         help="slow-query ring size (default 64)",
     )
+    serve.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="durable data directory: recover state from its snapshot "
+             "plus WAL on start, then journal every mutation to it "
+             "(default: in-memory only)",
+    )
+    serve.add_argument(
+        "--fsync", choices=("always", "batch", "never"), default="always",
+        help="WAL durability: fsync every append (always, default), "
+             "every Nth append (batch), or never (OS decides)",
+    )
+    serve.add_argument(
+        "--wal-segment-bytes", type=int, default=None, metavar="BYTES",
+        help="rotate WAL segment files at this size (default 4 MiB)",
+    )
+    serve.add_argument(
+        "--checkpoint-segments", type=int, default=4, metavar="N",
+        help="snapshot-then-truncate the WAL once it exceeds N segment "
+             "files (0 disables auto-checkpointing; default 4)",
+    )
+    serve.add_argument(
+        "--replica-of", metavar="HOST:PORT", default=None,
+        help="run as a warm read replica of the given primary: stream "
+             "its WAL, serve reads, refuse mutations with a typed "
+             "read_only error",
+    )
+    serve.add_argument(
+        "--replica-id", default=None, metavar="NAME",
+        help="name this replica reports to the primary (default "
+             "HOST:PORT of this endpoint)",
+    )
+    serve.add_argument(
+        "--replica-poll", type=float, default=0.05, metavar="SECONDS",
+        help="seconds between WAL polls when the replica is caught up "
+             "(default 0.05)",
+    )
 
     keygen = commands.add_parser("keygen", help="generate a secret key")
     keygen.add_argument("--length", type=int, default=4)
@@ -295,19 +334,52 @@ def _add_workload_args(parser, optional_file: bool = False) -> None:
              "out as one parallel batch and every shard cracks "
              "independently (default 0 = unsharded)",
     )
+    parser.add_argument(
+        "--replicas", action="append", default=[], metavar="HOST:PORT",
+        help="route reads across these `repro serve --replica-of` "
+             "endpoints while writes pin to --connect (repeatable; "
+             "requires --connect)",
+    )
+    parser.add_argument(
+        "--max-staleness", type=int, default=0, metavar="EPOCHS",
+        help="epochs a replica may trail a column this session wrote "
+             "before its reads divert to the primary (default 0 = "
+             "read-your-writes)",
+    )
+
+
+def _parse_address(address: str, flag: str):
+    host, __, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise ReproError("%s must be HOST:PORT: %r" % (flag, address))
+    return host, int(port)
 
 
 def _make_transport(args):
-    """A TCP transport for ``--connect``, or None for loopback."""
+    """A TCP transport for ``--connect`` (wrapped in a
+    :class:`~repro.net.replication.ReplicaSet` when ``--replicas``
+    endpoints are given), or None for loopback."""
     address = getattr(args, "connect", None)
+    replicas = getattr(args, "replicas", None) or []
     if not address:
+        if replicas:
+            raise ReproError("--replicas requires --connect HOST:PORT")
         return None
-    host, __, port = address.rpartition(":")
-    if not host or not port.isdigit():
-        raise ReproError("--connect must be HOST:PORT: %r" % address)
     from repro.net.transport import TcpTransport
 
-    return TcpTransport(host, int(port))
+    primary = TcpTransport(*_parse_address(address, "--connect"))
+    if not replicas:
+        return primary
+    from repro.net.replication import ReplicaSet
+
+    return ReplicaSet(
+        primary,
+        [
+            TcpTransport(*_parse_address(spec, "--replicas"))
+            for spec in replicas
+        ],
+        max_staleness_epochs=getattr(args, "max_staleness", 0),
+    )
 
 
 def _build_db(args, obs=None) -> OutsourcedDatabase:
@@ -455,6 +527,34 @@ def _render_telemetry(sections) -> str:
             "catalog: %d columns, %d logical shard groups"
             % (len(columns), len(catalog.get("shards") or {}))
         )
+    replication = sections.get("replication")
+    if isinstance(replication, dict):
+        if replication.get("role") == "primary":
+            wal = replication.get("wal") or {}
+            lines.append(
+                "replication: primary — wal seq %s, %s segments, "
+                "%s bytes (fsync %s)"
+                % (wal.get("seq", 0), wal.get("segments", 0),
+                   wal.get("bytes", 0), wal.get("fsync", "?"))
+            )
+            for replica_id, info in sorted(
+                (replication.get("replicas") or {}).items()
+            ):
+                lines.append(
+                    "  replica %-20s acked seq %-8s lag %s epochs"
+                    % (replica_id, info.get("seq", 0),
+                       info.get("lag_epochs", "?"))
+                )
+        else:
+            lines.append(
+                "replication: replica %s — applied seq %s, "
+                "lag %s entries%s"
+                % (replication.get("replica_id", "?"),
+                   replication.get("applied_seq", 0),
+                   replication.get("lag_entries", 0),
+                   " (last error: %s)" % replication["last_error"]
+                   if replication.get("last_error") else "")
+            )
     slow = sections.get("slow_queries")
     if isinstance(slow, dict):
         entries = slow.get("entries") or []
@@ -588,16 +688,72 @@ def _run_sql(args) -> int:
 
 
 def _run_serve(args) -> int:
+    import signal
+
     from repro.net import ColumnCatalog, serve as bind_endpoint
     from repro.obs import Observability
 
+    if args.replica_of and args.wal:
+        raise ReproError(
+            "--replica-of and --wal are mutually exclusive: a replica "
+            "streams the primary's WAL instead of keeping its own"
+        )
     obs = Observability(tracing=bool(args.trace))
-    catalog = ColumnCatalog(
+    catalog_kwargs = dict(
         obs=obs,
         batch_workers=args.batch_workers,
         slow_query_threshold=args.slow_query_threshold,
         slow_query_capacity=args.slow_query_capacity,
     )
+    wal_writer = None
+    if args.wal:
+        from repro.core.persistence import (
+            checkpoint_catalog,
+            recover_catalog,
+        )
+        from repro.core.wal import DEFAULT_SEGMENT_BYTES, WalWriter
+
+        catalog, recovery = recover_catalog(args.wal, **catalog_kwargs)
+        wal_writer = WalWriter(
+            args.wal,
+            segment_bytes=args.wal_segment_bytes or DEFAULT_SEGMENT_BYTES,
+            fsync=args.fsync,
+        )
+        catalog.bind_wal(
+            wal_writer,
+            checkpoint=lambda: checkpoint_catalog(
+                catalog, args.wal, wal_writer
+            ),
+            checkpoint_segments=args.checkpoint_segments,
+        )
+        print(
+            "recovered %d columns from %s (%s, replayed %d WAL entries "
+            "after seq %d)"
+            % (len(catalog), args.wal,
+               "snapshot" if recovery["snapshot"] else "no snapshot",
+               recovery["replayed"], recovery["wal_seq"]),
+            flush=True,
+        )
+    else:
+        catalog = ColumnCatalog(**catalog_kwargs)
+
+    replication = None
+    if args.replica_of:
+        from repro.net.replication import ReplicationClient
+        from repro.net.transport import TcpTransport
+
+        catalog.set_read_only(args.replica_of)
+        primary_host, primary_port = _parse_address(
+            args.replica_of, "--replica-of"
+        )
+        replica_id = args.replica_id or "%s:%d" % (args.host, args.port)
+        replication = ReplicationClient(
+            catalog,
+            TcpTransport(primary_host, primary_port),
+            replica_id,
+            poll_interval=args.replica_poll,
+        )
+
     endpoint = bind_endpoint(
         catalog=catalog,
         host=args.host,
@@ -607,18 +763,45 @@ def _run_serve(args) -> int:
         queue_size=args.queue_size,
     )
     host, port = endpoint.server_address
+    role = (
+        "read replica of %s" % args.replica_of if args.replica_of
+        else "column catalog"
+    )
     print(
-        "serving column catalog on %s:%d "
+        "serving %s on %s:%d "
         "(%d workers, %d max connections; ctrl-c to stop)"
-        % (host, port, endpoint.workers, endpoint.max_connections),
+        % (role, host, port, endpoint.workers, endpoint.max_connections),
         flush=True,
     )
+    if replication is not None:
+        replication.start()
+
+    # SIGTERM lands here as a KeyboardInterrupt so the finally block
+    # below runs: the trace dump and the final checkpoint must survive
+    # `kill PID` exactly like ctrl-c, not just a clean return.
+    def _terminate(signum, frame):  # pragma: no cover - signal path
+        raise KeyboardInterrupt
+
+    previous_sigterm = signal.signal(signal.SIGTERM, _terminate)
     try:
         endpoint.serve_forever()
     except KeyboardInterrupt:
         print("stopping")
     finally:
+        signal.signal(signal.SIGTERM, previous_sigterm)
+        if replication is not None:
+            replication.close()
         endpoint.stop()
+        if wal_writer is not None:
+            from repro.core.persistence import checkpoint_catalog
+
+            try:
+                seq = checkpoint_catalog(catalog, args.wal, wal_writer)
+                print("checkpointed %s at seq %d" % (args.wal, seq),
+                      flush=True)
+            except ReproError as exc:
+                print("final checkpoint failed: %s" % exc, file=sys.stderr)
+            wal_writer.close()
         if args.trace:
             obs.tracer.dump_jsonl(args.trace)
             print("wrote %d server spans to %s"

@@ -27,32 +27,55 @@ Catalog snapshots version independently: catalog version 1 carried
 only the column map; version 2 adds the ``shards`` registry (logical
 sharded columns — geometry plus ordered shard column names), so a
 restored endpoint keeps validating shard consistency and re-exports
-the ``catalog.shards`` gauge.  Version-1 catalog snapshots restore
-with an empty registry.
+the ``catalog.shards`` gauge.  Version 3 adds the per-column mutation
+``epochs`` map and the optional ``wal_seq`` watermark — the fence WAL
+replay uses to skip entries the snapshot already contains.  Version-1
+catalog snapshots restore with an empty registry; pre-3 snapshots
+restore with every epoch at 0 (correct for a snapshot taken with no
+WAL, whose replay starts from entry 1).
+
+The file layer (:func:`save_snapshot` / :func:`load_snapshot` /
+:func:`recover_catalog` / :func:`checkpoint_catalog`) adds durability:
+snapshot files are written atomically (temp file + fsync +
+``os.replace``), malformed persisted bytes surface as typed
+:class:`~repro.errors.PersistenceError`\\ s, and a server data
+directory — ``snapshot.json`` plus ``wal-*.seg`` segments — recovers
+to exactly the state whose mutations were acknowledged.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict
+import os
+from typing import Any, Dict, Optional, Tuple
 
 from repro.core.query import EncryptedBound, EncryptedBoundKey
 from repro.core.server import SecureServer
+from repro.core.wal import (
+    WalReader,
+    WalWriter,
+    read_json_file,
+    write_json_atomic,
+)
 from repro.crypto.ciphertext import BoundCiphertext, ValueCiphertext
 from repro.crypto.serialization import ciphertext_from_dict, ciphertext_to_dict
-from repro.errors import SerializationError, UpdateError
+from repro.errors import PersistenceError, SerializationError, UpdateError
 from repro.net.catalog import ColumnCatalog
 from repro.obs import Observability
 from repro.store.updates import PendingUpdates
 
 SNAPSHOT_VERSION = 2
-CATALOG_SNAPSHOT_VERSION = 2
+CATALOG_SNAPSHOT_VERSION = 3
 
 #: Snapshot versions the read path accepts (older ones restore with
 #: documented defaults for the fields they predate).
 SUPPORTED_VERSIONS = (1, 2)
 
 #: Catalog snapshot versions the read path accepts.
-SUPPORTED_CATALOG_VERSIONS = (1, 2)
+SUPPORTED_CATALOG_VERSIONS = (1, 2, 3)
+
+#: File name of the catalog snapshot inside a server data directory
+#: (next to the ``wal-*.seg`` segments).
+SNAPSHOT_FILENAME = "snapshot.json"
 
 
 def snapshot_server(server: SecureServer) -> Dict[str, Any]:
@@ -167,27 +190,46 @@ def restore_server(
         raise SerializationError("malformed snapshot: %s" % exc) from exc
 
 
-def snapshot_catalog(catalog: ColumnCatalog) -> Dict[str, Any]:
+def snapshot_catalog(
+    catalog: ColumnCatalog, wal_seq: Optional[int] = None
+) -> Dict[str, Any]:
     """Serialize every column of an endpoint's catalog, plus the
-    logical-shard registry grouping shard columns back together."""
+    logical-shard registry grouping shard columns back together and
+    each column's mutation epoch.
+
+    ``wal_seq`` records the WAL position this snapshot captures (every
+    logged entry with ``seq <= wal_seq`` is reflected in it); recovery
+    replays only entries after it.  Pass it when snapshotting inside
+    :meth:`~repro.net.catalog.ColumnCatalog.quiesced` — for a
+    crash-consistent cut — as :func:`checkpoint_catalog` does.
+    """
     columns = {}
     for name in catalog.column_names:
         columns[name] = {
             "config": catalog.config(name),
             "server": snapshot_server(catalog.server(name)),
         }
-    return {
+    snapshot = {
         "kind": "column_catalog",
         "version": CATALOG_SNAPSHOT_VERSION,
         "columns": columns,
         "shards": catalog.shards(),
+        "epochs": catalog.epochs(),
     }
+    if wal_seq is not None:
+        snapshot["wal_seq"] = int(wal_seq)
+    return snapshot
 
 
 def restore_catalog(
-    snapshot: Dict[str, Any], obs: Observability = None
+    snapshot: Dict[str, Any], obs: Observability = None, **catalog_kwargs
 ) -> ColumnCatalog:
     """Rebuild a whole endpoint from a catalog snapshot.
+
+    ``catalog_kwargs`` pass through to the
+    :class:`~repro.net.catalog.ColumnCatalog` constructor (batch pool
+    size, slow-query knobs), so a recovered serving endpoint keeps its
+    configured concurrency.
 
     Raises:
         SerializationError: on a malformed or wrong-kind snapshot.
@@ -201,12 +243,27 @@ def restore_catalog(
             "unsupported catalog snapshot version: %r"
             % snapshot.get("version")
         )
-    catalog = ColumnCatalog(obs=obs)
+    catalog = ColumnCatalog(obs=obs, **catalog_kwargs)
     try:
         columns = snapshot["columns"]
         items = sorted(columns.items())
     except (AttributeError, KeyError, TypeError) as exc:
         raise SerializationError("malformed catalog snapshot: %s" % exc) from exc
+    # Pre-3 snapshots predate epochs: 0 for every column is correct
+    # (their replay, if any, starts from the first WAL entry).
+    epochs = snapshot.get("epochs", {})
+    if not isinstance(epochs, dict):
+        raise SerializationError("catalog snapshot epochs must be an object")
+    for name, epoch in epochs.items():
+        if (not isinstance(epoch, int) or isinstance(epoch, bool)
+                or epoch < 0):
+            raise SerializationError(
+                "catalog snapshot epoch for %r must be an int >= 0" % name
+            )
+        if name not in columns:
+            raise SerializationError(
+                "catalog snapshot epoch for missing column %r" % name
+            )
     for name, entry in items:
         try:
             config = dict(entry["config"])
@@ -216,7 +273,10 @@ def restore_catalog(
                 "malformed catalog snapshot column %r: %s" % (name, exc)
             ) from exc
         catalog.adopt_column(
-            name, restore_server(server_snapshot, obs=catalog.obs), config
+            name,
+            restore_server(server_snapshot, obs=catalog.obs),
+            config,
+            epoch=epochs.get(name, 0),
         )
     # Version-1 snapshots predate the registry: empty is correct.
     shards = snapshot.get("shards", {})
@@ -260,3 +320,119 @@ def restore_catalog(
                     % (logical, exc)
                 ) from exc
     return catalog
+
+
+# -- durable files and recovery --------------------------------------------------
+
+
+def save_snapshot(path: str, snapshot: Dict[str, Any]) -> None:
+    """Write a snapshot dict to disk atomically.
+
+    Temp file + fsync + ``os.replace``: a crash at any instant leaves
+    either the previous complete snapshot or the new complete snapshot
+    at ``path`` — never a torn mix.
+
+    Raises:
+        PersistenceError: when the bytes cannot be written.
+    """
+    write_json_atomic(path, snapshot)
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    """Read a snapshot dict back from disk.
+
+    Raises:
+        PersistenceError: unreadable, non-JSON, or non-object bytes
+            (never a raw ``json`` or ``OSError`` leak).
+    """
+    data = read_json_file(path)
+    if not isinstance(data, dict):
+        raise PersistenceError(
+            "snapshot file %r must hold a JSON object, got %s"
+            % (path, type(data).__name__)
+        )
+    return data
+
+
+def recover_catalog(
+    directory: str, obs: Observability = None, **catalog_kwargs
+) -> Tuple[ColumnCatalog, Dict[str, Any]]:
+    """Rebuild a catalog from a server data directory.
+
+    The directory holds an optional ``snapshot.json`` plus ``wal-*.seg``
+    segments.  Recovery restores the snapshot (or starts empty), then
+    replays every WAL entry after the snapshot's ``wal_seq`` watermark
+    through the per-column epoch fence — so a snapshot taken without a
+    watermark (a manual save) still recovers correctly, with already-
+    contained entries skipped individually.
+
+    Returns ``(catalog, info)`` where ``info`` reports what happened:
+    ``{"snapshot": bool, "wal_seq": int, "replayed": int,
+    "skipped": int, "last_seq": int}``.
+
+    Raises:
+        PersistenceError: malformed snapshot bytes, malformed WAL
+            bytes beyond the tolerated torn tail, or an entry that
+            cannot apply (gap, unknown column, engine failure).
+    """
+    snapshot_path = os.path.join(directory, SNAPSHOT_FILENAME)
+    wal_seq = 0
+    have_snapshot = os.path.exists(snapshot_path)
+    if have_snapshot:
+        data = load_snapshot(snapshot_path)
+        try:
+            catalog = restore_catalog(data, obs=obs, **catalog_kwargs)
+        except PersistenceError:
+            raise
+        except SerializationError as exc:
+            # The file satellite's contract: corrupt *persisted* state
+            # is always a PersistenceError, whatever layer caught it.
+            raise PersistenceError(
+                "malformed snapshot %r: %s" % (snapshot_path, exc)
+            ) from exc
+        raw_seq = data.get("wal_seq", 0)
+        if (not isinstance(raw_seq, int) or isinstance(raw_seq, bool)
+                or raw_seq < 0):
+            raise PersistenceError(
+                "snapshot %r wal_seq must be an int >= 0" % snapshot_path
+            )
+        wal_seq = raw_seq
+    else:
+        catalog = ColumnCatalog(obs=obs, **catalog_kwargs)
+    replayed = skipped = 0
+    last_seq = wal_seq
+    for entry in WalReader(directory).entries(after_seq=wal_seq):
+        if catalog.apply_wal_entry(entry):
+            replayed += 1
+        else:
+            skipped += 1
+        last_seq = entry["seq"]
+    return catalog, {
+        "snapshot": have_snapshot,
+        "wal_seq": wal_seq,
+        "replayed": replayed,
+        "skipped": skipped,
+        "last_seq": last_seq,
+    }
+
+
+def checkpoint_catalog(
+    catalog: ColumnCatalog, directory: str, wal: WalWriter
+) -> int:
+    """Snapshot-then-truncate: durably save the catalog, then drop the
+    WAL segments the snapshot covers.
+
+    The snapshot is cut under :meth:`ColumnCatalog.quiesced` (no
+    mutation can commit while the cut is taken), written atomically,
+    and only *after* it is safely on disk are whole segments at or
+    below its watermark compacted away — a crash between the two steps
+    merely leaves extra (idempotently skipped) entries in the log.
+
+    Returns the WAL sequence number the snapshot captures.
+    """
+    with catalog.quiesced():
+        seq = wal.last_seq
+        snapshot = snapshot_catalog(catalog, wal_seq=seq)
+    save_snapshot(os.path.join(directory, SNAPSHOT_FILENAME), snapshot)
+    wal.compact(seq)
+    return seq

@@ -45,6 +45,15 @@ class SerializationError(ReproError):
     """A key or ciphertext could not be serialized or deserialized."""
 
 
+class PersistenceError(SerializationError):
+    """Durable state (a snapshot file or a WAL segment) is malformed:
+    truncated beyond the tolerated torn tail, bit-flipped (CRC
+    mismatch), out of sequence, or structurally invalid.  A
+    :class:`SerializationError` because corrupt persisted bytes are a
+    deserialization failure, but typed so recovery tooling can react to
+    storage corruption specifically."""
+
+
 class IndexStateError(ReproError):
     """An adaptive index invariant was violated (internal error) or an
     operation was attempted against an incompatible index state."""
@@ -76,6 +85,12 @@ class ServerBusyError(ReproError):
     queue was full, or it is draining for shutdown).  The request was
     *never dispatched*, so retrying after a backoff is always safe —
     even for non-idempotent operations."""
+
+
+class ReadOnlyError(UpdateError):
+    """The endpoint is a read replica: it serves queries, fetches, and
+    telemetry but refuses every mutation.  The message names the
+    primary endpoint writes must go to."""
 
 
 class RotationConflictError(UpdateError):

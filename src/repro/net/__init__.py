@@ -27,8 +27,13 @@ mechanical.  It has three layers:
 sessions hold instead of a server reference;
 :class:`~repro.net.shard.ShardedRemoteColumn` is its scatter-gather
 sibling, spreading one logical column over N catalog columns and
-fanning every operation out as one parallel batch.  Wire details are
-documented in ``docs/protocol.md``.
+fanning every operation out as one parallel batch.
+:mod:`repro.net.replication` adds the multi-server topology: a
+:class:`~repro.net.replication.ReplicationClient` streams the
+primary's WAL into a warm read replica, and a
+:class:`~repro.net.replication.ReplicaSet` transport routes reads
+across replicas under a bounded-staleness guard while pinning writes
+to the primary.  Wire details are documented in ``docs/protocol.md``.
 """
 
 from __future__ import annotations
@@ -60,6 +65,7 @@ from repro.net.protocol import (
     response_to_dict,
     trace_from_wire,
 )
+from repro.net.replication import ReplicaSet, ReplicationClient
 from repro.net.server import (
     CatalogTCPServer,
     ThreadPerConnectionServer,
@@ -84,6 +90,8 @@ __all__ = [
     "LoopbackTransport",
     "PROTOCOL_VERSION",
     "RemoteColumn",
+    "ReplicaSet",
+    "ReplicationClient",
     "ShardedRemoteColumn",
     "TcpTransport",
     "TelemetryRequest",

@@ -37,13 +37,16 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.query import EncryptedQuery
 from repro.core.server import SecureServer
 from repro.errors import (
+    PersistenceError,
     ProtocolError,
     QueryError,
+    ReadOnlyError,
     ReproError,
     RotationConflictError,
     UpdateError,
@@ -69,6 +72,12 @@ from repro.net.protocol import (
     MergeResponse,
     QueryRequest,
     QueryResponse,
+    ReplicateAckRequest,
+    ReplicateAckResponse,
+    ReplicateEntriesRequest,
+    ReplicateEntriesResponse,
+    ReplicateSubscribeRequest,
+    ReplicateSubscribeResponse,
     RotateApplyRequest,
     RotateApplyResponse,
     RotateBeginRequest,
@@ -77,6 +86,7 @@ from repro.net.protocol import (
     TelemetryResponse,
     error_response_for,
     request_from_dict,
+    request_to_dict,
     response_to_dict,
     trace_from_wire,
 )
@@ -85,6 +95,28 @@ from repro.obs.telemetry import (
     DEFAULT_SLOW_QUERY_CAPACITY,
     DEFAULT_SLOW_QUERY_THRESHOLD,
 )
+
+#: Cap on entries per ``replicate_entries`` reply: bounds frame size
+#: regardless of what limit the replica asks for.
+MAX_REPLICATION_BATCH = 256
+
+#: Request envelopes that mutate catalog state — the kinds a read
+#: replica refuses and the WAL journals.
+_MUTATION_REQUESTS = (
+    CreateColumnRequest,
+    InsertRequest,
+    DeleteRequest,
+    MergeRequest,
+    RotateBeginRequest,
+    RotateApplyRequest,
+)
+
+
+def _request_kind_name(request) -> str:
+    """The wire ``kind`` of a request envelope, for error messages."""
+    from repro.net.protocol import _REQUEST_KINDS
+
+    return _REQUEST_KINDS.get(type(request), type(request).__name__)
 
 
 class ColumnCatalog:
@@ -133,6 +165,19 @@ class ColumnCatalog:
         self._pool_lock = threading.Lock()
         self._batch_pool: Optional[ThreadPoolExecutor] = None
         self._closed = False
+        # Durability/replication plumbing (all optional; see bind_wal /
+        # set_read_only).  ``_replaying`` marks the current thread as
+        # applying already-logged entries, which bypasses both the WAL
+        # append and the read-only refusal.
+        self._wal = None
+        self._wal_checkpoint: Optional[Callable[[], int]] = None
+        self._checkpoint_segments = 0
+        self._checkpoint_lock = threading.Lock()
+        self._read_only_primary: Optional[str] = None
+        self._replaying = threading.local()
+        # Replica progress reported through replicate_ack:
+        # replica_id -> {"seq", "epochs", "lag_epochs"}.
+        self._replicas: Dict[str, Dict[str, Any]] = {}
 
     @property
     def obs(self) -> Observability:
@@ -207,8 +252,14 @@ class ColumnCatalog:
         server: SecureServer,
         config: Dict[str, Any],
         shard: Dict[str, Any] = None,
+        epoch: int = 0,
     ) -> None:
-        """Install an already-built server under a name (restore path)."""
+        """Install an already-built server under a name (restore path).
+
+        ``epoch`` restores the column's mutation epoch from a snapshot,
+        so WAL replay can fence out entries the snapshot already
+        contains (and rotation fences survive a restart).
+        """
         if not name:
             raise UpdateError("column name must be non-empty")
         if shard is not None:
@@ -219,7 +270,7 @@ class ColumnCatalog:
             self._servers[name] = server
             self._configs[name] = dict(config)
             self._locks[name] = threading.Lock()
-            self._epochs[name] = 0
+            self._epochs[name] = max(0, int(epoch))
         if shard is not None:
             try:
                 self.register_shard(name, shard)
@@ -373,6 +424,301 @@ class ColumnCatalog:
             self._epochs[name] = self._epochs.get(name, 0) + 1
             return self._epochs[name]
 
+    def epochs(self) -> Dict[str, int]:
+        """Every column's current mutation epoch (the replication
+        watermark a replica reports and a client routes reads by)."""
+        with self._registry_lock:
+            return dict(self._epochs)
+
+    @contextmanager
+    def quiesced(self):
+        """Hold every column lock (in sorted name order) for the body.
+
+        No mutation can commit while held, so the catalog state plus
+        the WAL head form a consistent cut — the checkpoint and
+        replica-subscribe snapshots are taken here.  Workers only ever
+        hold one column lock at a time and never this context, so the
+        sorted acquisition order cannot deadlock.
+        """
+        with self._registry_lock:
+            locks = [self._locks[name] for name in sorted(self._locks)]
+        for lock in locks:
+            lock.acquire()
+        try:
+            yield
+        finally:
+            for lock in reversed(locks):
+                lock.release()
+
+    # -- durability / replication ------------------------------------------------
+
+    def bind_wal(self, writer, checkpoint: Callable[[], int] = None,
+                 checkpoint_segments: int = 0) -> None:
+        """Journal every mutation this catalog commits to ``writer``.
+
+        From this point each insert/delete/merge/rotate_apply appends
+        its wire envelope to the WAL *under the column lock, before the
+        response is returned*: an acknowledged mutation is always in
+        the log (per the writer's fsync policy), an unacknowledged one
+        may be lost on a crash.  Binding also exports the
+        ``replication`` telemetry section and enables serving the
+        ``replicate_*`` envelopes.
+
+        ``checkpoint`` (usually
+        :func:`repro.core.persistence.checkpoint_catalog` curried with
+        the data directory) is invoked opportunistically at the end of
+        a dispatch once the log exceeds ``checkpoint_segments`` segment
+        files; ``0`` disables auto-checkpointing.
+        """
+        self._wal = writer
+        if writer is not None and writer.metrics is None:
+            writer.metrics = self.obs.metrics
+        self._wal_checkpoint = checkpoint
+        self._checkpoint_segments = max(0, int(checkpoint_segments))
+        self.register_telemetry_provider(
+            "replication", self._replication_telemetry
+        )
+
+    @property
+    def wal(self):
+        """The bound :class:`~repro.core.wal.WalWriter` (or ``None``)."""
+        return self._wal
+
+    def set_read_only(self, primary: str) -> None:
+        """Turn this catalog into a read replica of ``primary``.
+
+        Queries, fetches, hello, telemetry, and batches thereof keep
+        working; every mutation is refused with a typed ``read_only``
+        error naming the primary.  The replication apply path
+        (:meth:`apply_wal_entry`) bypasses the refusal.
+        """
+        self._read_only_primary = str(primary)
+
+    @property
+    def read_only_primary(self) -> Optional[str]:
+        """The primary this catalog replicates (``None`` on a primary)."""
+        return self._read_only_primary
+
+    def _is_replaying(self) -> bool:
+        return getattr(self._replaying, "active", False)
+
+    def _log_mutation(self, column: str, epoch: int, request) -> None:
+        """Append one committed mutation's envelope to the WAL.
+
+        Called under the column's lock (so per-column log order equals
+        epoch order) and skipped while replaying — replayed entries are
+        already in the log (restart) or belong to the primary's log
+        (replica).
+        """
+        wal = self._wal
+        if wal is None or self._is_replaying():
+            return
+        wal.append(column, int(epoch), request_to_dict(request))
+
+    def apply_wal_entry(self, entry: Dict[str, Any]) -> bool:
+        """Apply one logged mutation if the column hasn't seen it yet.
+
+        The per-column epoch is the idempotence fence: an entry at or
+        below the column's current epoch is already reflected (it was
+        in the snapshot) and is skipped; the successor epoch applies;
+        anything further ahead is a gap, i.e. corruption.  A
+        ``create_column`` entry (epoch 0) is skipped when the column
+        exists.  Returns ``True`` when the entry mutated state.
+
+        Raises:
+            PersistenceError: on a gap, an entry for an unknown column,
+                or an entry that fails to apply.
+        """
+        column = entry["column"]
+        epoch = entry["epoch"]
+        try:
+            request = request_from_dict(entry["request"])
+        except ReproError as exc:
+            raise PersistenceError(
+                "WAL entry %d carries a malformed %r envelope: %s"
+                % (entry["seq"], entry["request"].get("kind"), exc)
+            ) from exc
+        if isinstance(request, CreateColumnRequest):
+            with self._registry_lock:
+                if column in self._servers:
+                    return False
+            self._apply_replayed(request, entry)
+            return True
+        with self._registry_lock:
+            current = self._epochs.get(column)
+        if current is None:
+            raise PersistenceError(
+                "WAL entry %d mutates unknown column %r"
+                % (entry["seq"], column)
+            )
+        if epoch <= current:
+            return False
+        if epoch != current + 1:
+            raise PersistenceError(
+                "WAL entry %d skips column %r from epoch %d to %d "
+                "(missing entries)" % (entry["seq"], column, current, epoch)
+            )
+        self._apply_replayed(request, entry)
+        return True
+
+    def _apply_replayed(self, request, entry: Dict[str, Any]):
+        """Execute an already-logged envelope, bypassing the read-only
+        refusal and the WAL append."""
+        self._replaying.active = True
+        try:
+            return self.handle(request)
+        except ReproError as exc:
+            raise PersistenceError(
+                "WAL entry %d (%s on %r) failed to apply: %s"
+                % (entry["seq"], entry["request"].get("kind"),
+                   entry["column"], exc)
+            ) from exc
+        finally:
+            self._replaying.active = False
+
+    def _maybe_checkpoint(self) -> None:
+        """Opportunistic snapshot-then-truncate at the end of a
+        dispatch (the worker holds no locks here).  Non-blocking: if
+        another worker is already checkpointing, skip."""
+        wal = self._wal
+        if (wal is None or self._wal_checkpoint is None
+                or self._checkpoint_segments <= 0):
+            return
+        if wal.segment_count() <= self._checkpoint_segments:
+            return
+        if not self._checkpoint_lock.acquire(blocking=False):
+            return
+        try:
+            self._wal_checkpoint()
+            self._obs.metrics.add("wal.checkpoints")
+        except ReproError:
+            # A failed checkpoint must never fail the dispatch that
+            # triggered it; the log simply keeps growing until one
+            # succeeds (visible as wal.checkpoint_failures).
+            self._obs.metrics.add("wal.checkpoint_failures")
+        finally:
+            self._checkpoint_lock.release()
+
+    def _replication_telemetry(self) -> Dict[str, Any]:
+        """The ``replication`` telemetry section (primary role)."""
+        wal = self._wal
+        with self._registry_lock:
+            replicas = {
+                replica_id: dict(info)
+                for replica_id, info in self._replicas.items()
+            }
+        return {
+            "role": "primary",
+            "wal": wal.stats() if wal is not None else None,
+            "epochs": self.epochs(),
+            "replicas": replicas,
+        }
+
+    def reset_state_from(self, other: "ColumnCatalog") -> None:
+        """Replace this catalog's entire column state with ``other``'s.
+
+        The replica resubscribe path: when the primary's log no longer
+        covers the replica's position, the replica restores a fresh
+        snapshot into a throwaway catalog and swaps it in here.  Column
+        locks are recreated (the snapshot's columns are new objects);
+        an in-flight read still holding an old lock finishes against
+        the old server object, which stays valid — it just returns the
+        pre-reset data one last time.
+        """
+        with other._registry_lock:
+            servers = dict(other._servers)
+            configs = {name: dict(cfg) for name, cfg in other._configs.items()}
+            epochs = dict(other._epochs)
+            shards = {
+                logical: {
+                    "count": meta["count"],
+                    "physical_per_value": meta["physical_per_value"],
+                    "columns": list(meta["columns"]),
+                }
+                for logical, meta in other._shards.items()
+            }
+        with self._registry_lock:
+            self._servers = servers
+            self._configs = configs
+            self._locks = {name: threading.Lock() for name in servers}
+            self._epochs = epochs
+            self._shards = shards
+
+    def _require_wal(self):
+        if self._wal is None:
+            raise ProtocolError(
+                "this endpoint does not replicate (no WAL bound)"
+            )
+        return self._wal
+
+    def _serve_replicate_subscribe(
+        self, request: ReplicateSubscribeRequest
+    ) -> ReplicateSubscribeResponse:
+        """A replica joins: consistent snapshot + the WAL head it cuts."""
+        wal = self._require_wal()
+        from repro.core.persistence import snapshot_catalog
+
+        with self.quiesced():
+            seq = wal.last_seq
+            snapshot = snapshot_catalog(self, wal_seq=seq)
+        with self._registry_lock:
+            self._replicas.setdefault(
+                request.replica_id,
+                {"seq": seq, "epochs": {}, "lag_epochs": 0},
+            )
+        self._obs.metrics.add("replication.subscribes")
+        return ReplicateSubscribeResponse(snapshot=snapshot, seq=seq)
+
+    def _serve_replicate_entries(
+        self, request: ReplicateEntriesRequest
+    ) -> ReplicateEntriesResponse:
+        """The catch-up poll: WAL entries after the replica's position."""
+        wal = self._require_wal()
+        from repro.core.wal import WalReader, wal_start_seq
+
+        head = wal.last_seq
+        after = max(0, int(request.after_seq))
+        if after > head:
+            # The replica is ahead of this log: it subscribed to a
+            # different incarnation of the primary.  Resubscribe.
+            self._obs.metrics.add("replication.resets")
+            return ReplicateEntriesResponse(entries=(), seq=head, reset=True)
+        if after < head:
+            start = wal_start_seq(wal.directory)
+            if start is None or after + 1 < start:
+                # The requested range was compacted away.
+                self._obs.metrics.add("replication.resets")
+                return ReplicateEntriesResponse(
+                    entries=(), seq=head, reset=True
+                )
+        limit = request.limit
+        if limit is None or limit <= 0 or limit > MAX_REPLICATION_BATCH:
+            limit = MAX_REPLICATION_BATCH
+        entries = tuple(WalReader(wal.directory).entries(after, limit=limit))
+        self._obs.metrics.add("replication.entries_served", len(entries))
+        return ReplicateEntriesResponse(entries=entries, seq=head)
+
+    def _serve_replicate_ack(
+        self, request: ReplicateAckRequest
+    ) -> ReplicateAckResponse:
+        """Record replica progress and publish its epoch lag."""
+        self._require_wal()
+        mine = self.epochs()
+        lag = sum(
+            max(0, epoch - int(request.epochs.get(name, 0)))
+            for name, epoch in mine.items()
+        )
+        with self._registry_lock:
+            self._replicas[request.replica_id] = {
+                "seq": int(request.seq),
+                "epochs": dict(request.epochs),
+                "lag_epochs": lag,
+            }
+        self._obs.metrics.set(
+            "replication.lag_epochs.%s" % request.replica_id, lag
+        )
+        return ReplicateAckResponse(lag_epochs=lag)
+
     # -- dispatch ----------------------------------------------------------------
 
     def dispatch(self, request_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -419,6 +765,9 @@ class ColumnCatalog:
         if elapsed >= self._slow_log.threshold:
             metrics.add("net.slow_queries")
             self._record_slow(request_dict, kind, elapsed, span)
+        # Opportunistic snapshot-then-truncate: the dispatching worker
+        # holds no locks here, so it can safely quiesce the catalog.
+        self._maybe_checkpoint()
         return response
 
     def _record_slow(self, request_dict: Any, kind: Any, elapsed: float,
@@ -644,11 +993,35 @@ class ColumnCatalog:
             pool.shutdown(wait=True)
 
     def handle(self, request):
-        """Execute one decoded request envelope against its column."""
+        """Execute one decoded request envelope against its column.
+
+        On a read replica (:meth:`set_read_only`) every mutation is
+        refused with a typed :class:`~repro.errors.ReadOnlyError`
+        naming the primary — including ``rotate_begin``, which merges
+        pending state even though it is not itself journaled.  With a
+        WAL bound (:meth:`bind_wal`), each committed mutation's
+        envelope is appended under the column lock before the response
+        is returned, and mutation responses carry the column's new
+        epoch as a replica-read fence.
+        """
         if isinstance(request, HelloRequest):
             return HelloResponse(codecs=CODECS)
         if isinstance(request, TelemetryRequest):
             return TelemetryResponse(sections=self.telemetry(request.sections))
+        if isinstance(request, ReplicateSubscribeRequest):
+            return self._serve_replicate_subscribe(request)
+        if isinstance(request, ReplicateEntriesRequest):
+            return self._serve_replicate_entries(request)
+        if isinstance(request, ReplicateAckRequest):
+            return self._serve_replicate_ack(request)
+        primary = self._read_only_primary
+        if (primary is not None and isinstance(request, _MUTATION_REQUESTS)
+                and not self._is_replaying()):
+            self._obs.metrics.add("replication.mutations_refused")
+            raise ReadOnlyError(
+                "this endpoint is a read replica; send %s to the primary "
+                "at %s" % (_request_kind_name(request), primary)
+            )
         if isinstance(request, BatchRequest):
             responses = []
             for sub in request.requests:
@@ -672,8 +1045,12 @@ class ColumnCatalog:
                 request.config,
                 shard=request.shard,
             )
+            # Logged outside the (brand-new) column lock: a mutation can
+            # only race this append if its issuer learned the column
+            # name before our response — i.e. out of band.
+            self._log_mutation(request.column, 0, request)
             return CreateColumnResponse(
-                column=request.column, rows_stored=len(server)
+                column=request.column, rows_stored=len(server), epoch=0
             )
         lock = self._column_lock(request.column)
         with lock:
@@ -688,16 +1065,21 @@ class ColumnCatalog:
                 )
             if isinstance(request, InsertRequest):
                 row_ids = tuple(server.insert(list(request.rows)))
-                self._bump_epoch(request.column)
-                return InsertResponse(row_ids=row_ids)
+                epoch = self._bump_epoch(request.column)
+                self._log_mutation(request.column, epoch, request)
+                return InsertResponse(row_ids=row_ids, epoch=epoch)
             if isinstance(request, DeleteRequest):
                 server.delete(request.row_ids)
-                self._bump_epoch(request.column)
-                return DeleteResponse(deleted=len(request.row_ids))
+                epoch = self._bump_epoch(request.column)
+                self._log_mutation(request.column, epoch, request)
+                return DeleteResponse(
+                    deleted=len(request.row_ids), epoch=epoch
+                )
             if isinstance(request, MergeRequest):
                 delta = server.merge_pending()
-                self._bump_epoch(request.column)
-                return MergeResponse(delta=delta)
+                epoch = self._bump_epoch(request.column)
+                self._log_mutation(request.column, epoch, request)
+                return MergeResponse(delta=delta, epoch=epoch)
             if isinstance(request, RotateBeginRequest):
                 # The merge below is part of the snapshot, so the fence
                 # is read *after* it: only mutations arriving between
@@ -725,7 +1107,10 @@ class ColumnCatalog:
                 with self._registry_lock:
                     self._servers[request.column] = rebuilt
                     self._epochs[request.column] = current + 1
-                return RotateApplyResponse(rows_stored=len(rebuilt))
+                self._log_mutation(request.column, current + 1, request)
+                return RotateApplyResponse(
+                    rows_stored=len(rebuilt), epoch=current + 1
+                )
         raise ProtocolError(
             "unhandled request type: %s" % type(request).__name__
         )

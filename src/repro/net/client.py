@@ -65,6 +65,12 @@ from repro.net.protocol import (
     MergeResponse,
     QueryRequest,
     QueryResponse,
+    ReplicateAckRequest,
+    ReplicateAckResponse,
+    ReplicateEntriesRequest,
+    ReplicateEntriesResponse,
+    ReplicateSubscribeRequest,
+    ReplicateSubscribeResponse,
     RotateApplyRequest,
     RotateApplyResponse,
     RotateBeginRequest,
@@ -90,6 +96,11 @@ IDEMPOTENT_REQUESTS = (
     QueryRequest,
     FetchRequest,
     TelemetryRequest,
+    # Replication envelopes read WAL state (subscribe/entries) or
+    # report progress the primary stores idempotently (ack).
+    ReplicateSubscribeRequest,
+    ReplicateEntriesRequest,
+    ReplicateAckRequest,
 )
 
 
@@ -326,6 +337,41 @@ class RemoteColumn:
         )
         response = self.call(request)
         return self._expect(response, TelemetryResponse).sections
+
+    # -- replication (replica-to-primary feed) -----------------------------------
+
+    def replicate_subscribe(self, replica_id: str) -> ReplicateSubscribeResponse:
+        """Join the primary's WAL feed; returns snapshot + its seq."""
+        response = self.call(
+            ReplicateSubscribeRequest(replica_id=str(replica_id))
+        )
+        return self._expect(response, ReplicateSubscribeResponse)
+
+    def replicate_entries(
+        self, replica_id: str, after_seq: int, limit: int = None
+    ) -> ReplicateEntriesResponse:
+        """Pull WAL entries after ``after_seq`` (``reset`` = resubscribe)."""
+        response = self.call(
+            ReplicateEntriesRequest(
+                replica_id=str(replica_id),
+                after_seq=int(after_seq),
+                limit=None if limit is None else int(limit),
+            )
+        )
+        return self._expect(response, ReplicateEntriesResponse)
+
+    def replicate_ack(
+        self, replica_id: str, seq: int, epochs: Dict[str, int]
+    ) -> ReplicateAckResponse:
+        """Report applied progress; returns the primary's lag estimate."""
+        response = self.call(
+            ReplicateAckRequest(
+                replica_id=str(replica_id),
+                seq=int(seq),
+                epochs={str(k): int(v) for k, v in dict(epochs).items()},
+            )
+        )
+        return self._expect(response, ReplicateAckResponse)
 
     def rotate_begin(self) -> RotateBeginResponse:
         """Merge pending state and fetch every live row for rotation.

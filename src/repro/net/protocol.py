@@ -53,8 +53,10 @@ from repro.crypto.serialization import (
     response_to_dict as server_response_to_dict,
 )
 from repro.errors import (
+    PersistenceError,
     ProtocolError,
     QueryError,
+    ReadOnlyError,
     ReproError,
     RotationConflictError,
     SerializationError,
@@ -208,6 +210,46 @@ class RotateApplyRequest:
     fence: Optional[int] = None
 
 
+@dataclass(frozen=True)
+class ReplicateSubscribeRequest:
+    """A read replica joins the primary's replication feed.
+
+    Column-less like ``hello`` — it addresses the serving process.  The
+    primary answers with a consistent catalog snapshot and the WAL
+    sequence number it captures, from which the replica starts pulling
+    entries.  ``replica_id`` names the replica in the primary's
+    telemetry (``replication.lag_epochs.<replica_id>``)."""
+
+    replica_id: str
+
+
+@dataclass(frozen=True)
+class ReplicateEntriesRequest:
+    """Pull WAL entries after a sequence number (the catch-up loop).
+
+    The primary returns entries with ``seq > after_seq`` (bounded by
+    ``limit``) plus its current log head, so the replica knows how far
+    behind it still is.  If ``after_seq`` predates the primary's
+    retained log (compacted away), the reply carries ``reset`` and the
+    replica must re-subscribe from a fresh snapshot."""
+
+    replica_id: str
+    after_seq: int
+    limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReplicateAckRequest:
+    """Report replication progress: the last applied sequence number
+    and the replica's per-column mutation epochs.  The primary compares
+    them against its own epochs to publish the per-replica
+    ``replication.lag_epochs`` gauge."""
+
+    replica_id: str
+    seq: int
+    epochs: Dict[str, int] = field(default_factory=dict)
+
+
 # -- response envelopes ---------------------------------------------------------
 
 
@@ -244,10 +286,17 @@ class TelemetryResponse:
 
 @dataclass(frozen=True)
 class CreateColumnResponse:
-    """Acknowledges a column upload with the stored physical row count."""
+    """Acknowledges a column upload with the stored physical row count.
+
+    ``epoch`` is the column's mutation epoch after creation (0); like
+    every mutation-response epoch it is omitted from the wire when
+    ``None`` (a pre-replication server), so old frames keep their
+    bytes.  Clients use it as a read-your-writes fence when routing
+    reads across replicas."""
 
     column: str
     rows_stored: int
+    epoch: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -266,23 +315,33 @@ class FetchResponse:
 
 @dataclass(frozen=True)
 class InsertResponse:
-    """Physical ids assigned to buffered rows, in request order."""
+    """Physical ids assigned to buffered rows, in request order.
+
+    ``epoch`` is the column's mutation epoch after the insert (the
+    replica-read fence); omitted from the wire when ``None``."""
 
     row_ids: Tuple[int, ...]
+    epoch: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class DeleteResponse:
-    """Acknowledges tombstoning with the number of ids processed."""
+    """Acknowledges tombstoning with the number of ids processed.
+
+    ``epoch`` as on :class:`InsertResponse`."""
 
     deleted: int
+    epoch: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class MergeResponse:
-    """Row-count delta applied by the merge (inserts minus reclaims)."""
+    """Row-count delta applied by the merge (inserts minus reclaims).
+
+    ``epoch`` as on :class:`InsertResponse`."""
 
     delta: int
+    epoch: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -300,9 +359,45 @@ class RotateBeginResponse:
 
 @dataclass(frozen=True)
 class RotateApplyResponse:
-    """Acknowledges the rebuilt column with its stored row count."""
+    """Acknowledges the rebuilt column with its stored row count.
+
+    ``epoch`` as on :class:`InsertResponse`."""
 
     rows_stored: int
+    epoch: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ReplicateSubscribeResponse:
+    """A consistent catalog snapshot plus the WAL sequence number it
+    captures.  The replica restores the snapshot and pulls entries
+    after ``seq``."""
+
+    snapshot: Dict[str, Any]
+    seq: int
+
+
+@dataclass(frozen=True)
+class ReplicateEntriesResponse:
+    """WAL entries after the requested sequence number.
+
+    ``entries`` are the validated WAL entry dicts (``{"seq", "column",
+    "epoch", "request"}``); ``seq`` is the primary's current log head
+    (so ``seq - entries[-1].seq`` is the remaining backlog).  ``reset``
+    (omitted from the wire when false) means the requested range was
+    compacted away and the replica must re-subscribe."""
+
+    entries: Tuple[Dict[str, Any], ...]
+    seq: int
+    reset: bool = False
+
+
+@dataclass(frozen=True)
+class ReplicateAckResponse:
+    """Acknowledges a progress report with the lag the primary computed
+    from it (total epochs the replica is behind, summed over columns)."""
+
+    lag_epochs: int
 
 
 @dataclass(frozen=True)
@@ -322,8 +417,10 @@ class ErrorResponse:
 ERROR_CLASSES: Dict[str, type] = {
     "query": QueryError,
     "update": UpdateError,
+    "read_only": ReadOnlyError,
     "conflict": RotationConflictError,
     "serialization": SerializationError,
+    "persistence": PersistenceError,
     "transport": TransportError,
     "busy": ServerBusyError,
     "protocol": ProtocolError,
@@ -334,9 +431,11 @@ ERROR_CLASSES: Dict[str, type] = {
 _ERROR_CODES: Tuple[Tuple[type, str], ...] = (
     (ServerBusyError, "busy"),
     (RotationConflictError, "conflict"),
+    (ReadOnlyError, "read_only"),
     (TransportError, "transport"),
     (QueryError, "query"),
     (UpdateError, "update"),
+    (PersistenceError, "persistence"),
     (SerializationError, "serialization"),
     (ProtocolError, "protocol"),
     (ReproError, "internal"),
@@ -372,6 +471,9 @@ _REQUEST_KINDS = {
     MergeRequest: "merge_request",
     RotateBeginRequest: "rotate_begin",
     RotateApplyRequest: "rotate_apply",
+    ReplicateSubscribeRequest: "replicate_subscribe",
+    ReplicateEntriesRequest: "replicate_entries",
+    ReplicateAckRequest: "replicate_ack",
 }
 
 _RESPONSE_KINDS = {
@@ -386,6 +488,9 @@ _RESPONSE_KINDS = {
     MergeResponse: "merge_response",
     RotateBeginResponse: "rotate_begin_response",
     RotateApplyResponse: "rotate_apply_response",
+    ReplicateSubscribeResponse: "replicate_subscribe_response",
+    ReplicateEntriesResponse: "replicate_entries_response",
+    ReplicateAckResponse: "replicate_ack_response",
     ErrorResponse: "error_response",
 }
 
@@ -547,6 +652,39 @@ def _shard_from_dict(data) -> Dict[str, Any]:
     }
 
 
+def _replica_id_from_wire(value) -> str:
+    if not isinstance(value, str) or not value:
+        raise SerializationError("replica_id must be a non-empty string")
+    return value
+
+
+def _epochs_from_dict(data) -> Dict[str, int]:
+    if not isinstance(data, dict):
+        raise SerializationError("epochs must be an object")
+    epochs = {}
+    for name, epoch in data.items():
+        if not isinstance(name, str) or not name:
+            raise SerializationError("epoch keys must be column names")
+        if (not isinstance(epoch, int) or isinstance(epoch, bool)
+                or epoch < 0):
+            raise SerializationError(
+                "epoch for column %r must be an int >= 0" % name
+            )
+        epochs[name] = epoch
+    return epochs
+
+
+def _wal_entries_from_list(items) -> Tuple[Dict[str, Any], ...]:
+    # Imported here: repro.core.wal owns the entry shape, and a
+    # module-level import would tie every protocol user to the WAL
+    # machinery.
+    from repro.core.wal import entry_from_wire
+
+    if not isinstance(items, list):
+        raise SerializationError("replication entries must be a list")
+    return tuple(entry_from_wire(item) for item in items)
+
+
 def _config_from_dict(data) -> Dict[str, Any]:
     if not isinstance(data, dict):
         raise SerializationError("column config must be an object")
@@ -580,6 +718,25 @@ def request_to_dict(request) -> Dict[str, Any]:
         if request.sections is not None:
             payload["sections"] = [str(s) for s in request.sections]
         return payload
+    if isinstance(request, ReplicateSubscribeRequest):
+        return _envelope(kind, replica_id=str(request.replica_id))
+    if isinstance(request, ReplicateEntriesRequest):
+        payload = _envelope(
+            kind,
+            replica_id=str(request.replica_id),
+            after_seq=int(request.after_seq),
+        )
+        # Omitted when None (= server default) to keep the frame minimal.
+        if request.limit is not None:
+            payload["limit"] = int(request.limit)
+        return payload
+    if isinstance(request, ReplicateAckRequest):
+        return _envelope(
+            kind,
+            replica_id=str(request.replica_id),
+            seq=int(request.seq),
+            epochs={str(k): int(v) for k, v in request.epochs.items()},
+        )
     if isinstance(request, CreateColumnRequest):
         payload = _envelope(
             kind,
@@ -644,6 +801,23 @@ def request_from_dict(data: Dict[str, Any]):
                 sections=None if sections is None
                 else _sections_filter_from_list(sections)
             )
+        if kind == "replicate_subscribe":
+            return ReplicateSubscribeRequest(
+                replica_id=_replica_id_from_wire(data["replica_id"])
+            )
+        if kind == "replicate_entries":
+            limit = data.get("limit")
+            return ReplicateEntriesRequest(
+                replica_id=_replica_id_from_wire(data["replica_id"]),
+                after_seq=int(data["after_seq"]),
+                limit=None if limit is None else int(limit),
+            )
+        if kind == "replicate_ack":
+            return ReplicateAckRequest(
+                replica_id=_replica_id_from_wire(data["replica_id"]),
+                seq=int(data["seq"]),
+                epochs=_epochs_from_dict(data.get("epochs", {})),
+            )
         column = data["column"]
         if not isinstance(column, str) or not column:
             raise SerializationError("column name must be a non-empty string")
@@ -699,9 +873,10 @@ def response_to_dict(response) -> Dict[str, Any]:
             kind, sections=_sections_payload_from_dict(response.sections)
         )
     if isinstance(response, CreateColumnResponse):
-        return _envelope(
+        payload = _envelope(
             kind, column=response.column, rows_stored=int(response.rows_stored)
         )
+        return _with_epoch(payload, response.epoch)
     if isinstance(response, QueryResponse):
         return _envelope(kind, body=server_response_to_dict(response.response))
     if isinstance(response, RotateBeginResponse):
@@ -714,15 +889,58 @@ def response_to_dict(response) -> Dict[str, Any]:
     if isinstance(response, FetchResponse):
         return _envelope(kind, rows=_rows_to_list(response.rows))
     if isinstance(response, InsertResponse):
-        return _envelope(kind, row_ids=[int(i) for i in response.row_ids])
+        return _with_epoch(
+            _envelope(kind, row_ids=[int(i) for i in response.row_ids]),
+            response.epoch,
+        )
     if isinstance(response, DeleteResponse):
-        return _envelope(kind, deleted=int(response.deleted))
+        return _with_epoch(
+            _envelope(kind, deleted=int(response.deleted)), response.epoch
+        )
     if isinstance(response, MergeResponse):
-        return _envelope(kind, delta=int(response.delta))
+        return _with_epoch(
+            _envelope(kind, delta=int(response.delta)), response.epoch
+        )
     if isinstance(response, RotateApplyResponse):
-        return _envelope(kind, rows_stored=int(response.rows_stored))
+        return _with_epoch(
+            _envelope(kind, rows_stored=int(response.rows_stored)),
+            response.epoch,
+        )
+    if isinstance(response, ReplicateSubscribeResponse):
+        if not isinstance(response.snapshot, dict):
+            raise SerializationError("replication snapshot must be an object")
+        return _envelope(
+            kind, snapshot=response.snapshot, seq=int(response.seq)
+        )
+    if isinstance(response, ReplicateEntriesResponse):
+        payload = _envelope(
+            kind,
+            entries=[dict(entry) for entry in response.entries],
+            seq=int(response.seq),
+        )
+        # Omitted when false so steady-state frames stay minimal.
+        if response.reset:
+            payload["reset"] = True
+        return payload
+    if isinstance(response, ReplicateAckResponse):
+        return _envelope(kind, lag_epochs=int(response.lag_epochs))
     # ErrorResponse
     return _envelope(kind, code=response.code, message=response.message)
+
+
+def _with_epoch(payload: Dict[str, Any],
+                epoch: Optional[int]) -> Dict[str, Any]:
+    """Attach a mutation response's epoch fence, omitted when ``None``
+    so pre-replication frames keep their exact bytes."""
+    if epoch is not None:
+        payload["epoch"] = int(epoch)
+    return payload
+
+
+def _epoch_from_wire(data: Dict[str, Any]) -> Optional[int]:
+    """Decode a mutation response's optional ``epoch`` fence."""
+    epoch = data.get("epoch")
+    return None if epoch is None else int(epoch)
 
 
 def response_from_dict(data: Dict[str, Any]):
@@ -745,18 +963,27 @@ def response_from_dict(data: Dict[str, Any]):
             )
         if kind == "create_column_response":
             return CreateColumnResponse(
-                column=str(data["column"]), rows_stored=int(data["rows_stored"])
+                column=str(data["column"]),
+                rows_stored=int(data["rows_stored"]),
+                epoch=_epoch_from_wire(data),
             )
         if kind == "query_response":
             return QueryResponse(response=server_response_from_dict(data["body"]))
         if kind == "fetch_response":
             return FetchResponse(rows=_rows_from_list(data["rows"]))
         if kind == "insert_response":
-            return InsertResponse(row_ids=_ids_from_list(data["row_ids"]))
+            return InsertResponse(
+                row_ids=_ids_from_list(data["row_ids"]),
+                epoch=_epoch_from_wire(data),
+            )
         if kind == "delete_response":
-            return DeleteResponse(deleted=int(data["deleted"]))
+            return DeleteResponse(
+                deleted=int(data["deleted"]), epoch=_epoch_from_wire(data)
+            )
         if kind == "merge_response":
-            return MergeResponse(delta=int(data["delta"]))
+            return MergeResponse(
+                delta=int(data["delta"]), epoch=_epoch_from_wire(data)
+            )
         if kind == "rotate_begin_response":
             fence = data.get("fence")
             return RotateBeginResponse(
@@ -764,7 +991,30 @@ def response_from_dict(data: Dict[str, Any]):
                 fence=None if fence is None else int(fence),
             )
         if kind == "rotate_apply_response":
-            return RotateApplyResponse(rows_stored=int(data["rows_stored"]))
+            return RotateApplyResponse(
+                rows_stored=int(data["rows_stored"]),
+                epoch=_epoch_from_wire(data),
+            )
+        if kind == "replicate_subscribe_response":
+            snapshot = data["snapshot"]
+            if not isinstance(snapshot, dict):
+                raise SerializationError(
+                    "replication snapshot must be an object"
+                )
+            return ReplicateSubscribeResponse(
+                snapshot=snapshot, seq=int(data["seq"])
+            )
+        if kind == "replicate_entries_response":
+            reset = data.get("reset", False)
+            if not isinstance(reset, bool):
+                raise SerializationError("reset must be a boolean")
+            return ReplicateEntriesResponse(
+                entries=_wal_entries_from_list(data["entries"]),
+                seq=int(data["seq"]),
+                reset=reset,
+            )
+        if kind == "replicate_ack_response":
+            return ReplicateAckResponse(lag_epochs=int(data["lag_epochs"]))
         if kind == "error_response":
             return ErrorResponse(
                 code=str(data["code"]), message=str(data["message"])

@@ -18,6 +18,7 @@ Three layers of confidence in the wire formats:
   JSON byte volume (the tentpole's reason to exist).
 """
 
+import json
 import random
 
 import numpy as np
@@ -47,6 +48,12 @@ from repro.net.protocol import (
     MergeResponse,
     QueryRequest,
     QueryResponse,
+    ReplicateAckRequest,
+    ReplicateAckResponse,
+    ReplicateEntriesRequest,
+    ReplicateEntriesResponse,
+    ReplicateSubscribeRequest,
+    ReplicateSubscribeResponse,
     RotateApplyRequest,
     RotateApplyResponse,
     RotateBeginRequest,
@@ -164,6 +171,39 @@ def make_server_response(rng):
     )
 
 
+def make_replica_id(rng):
+    return rng.choice(("r1", "replica-λ", "10.0.0.7:9402", "r" * 100))
+
+
+def make_epochs(rng):
+    return {
+        make_column(rng): rng.choice(BOUNDARY_IDS)
+        for _ in range(rng.randint(0, 4))
+    }
+
+
+def make_wal_entry(rng, seq):
+    """One valid WAL entry envelope (a journaled mutation request).
+
+    Containers are JSON-normalized (lists, not tuples) so the entry
+    compares equal after a frame round trip.
+    """
+    maker = rng.choice((
+        REQUEST_MAKERS[CreateColumnRequest],
+        REQUEST_MAKERS[InsertRequest],
+        REQUEST_MAKERS[DeleteRequest],
+        REQUEST_MAKERS[MergeRequest],
+        REQUEST_MAKERS[RotateApplyRequest],
+    ))
+    request = json.loads(json.dumps(request_to_dict(maker(rng))))
+    return {
+        "seq": seq,
+        "column": request["column"],
+        "epoch": rng.choice((0, 1, 7, 2 ** 40)),
+        "request": request,
+    }
+
+
 REQUEST_MAKERS = {
     HelloRequest: lambda rng: HelloRequest(
         codecs=tuple(rng.sample(("binary", "json", "future-codec"),
@@ -205,6 +245,19 @@ REQUEST_MAKERS = {
             tuple(rng.sample(SECTION_NAMES, rng.randint(1, 4))),
         ))
     ),
+    ReplicateSubscribeRequest: lambda rng: ReplicateSubscribeRequest(
+        replica_id=make_replica_id(rng)
+    ),
+    ReplicateEntriesRequest: lambda rng: ReplicateEntriesRequest(
+        replica_id=make_replica_id(rng),
+        after_seq=rng.choice(BOUNDARY_IDS),
+        limit=rng.choice((None, 1, 256, 2 ** 31)),
+    ),
+    ReplicateAckRequest: lambda rng: ReplicateAckRequest(
+        replica_id=make_replica_id(rng),
+        seq=rng.choice(BOUNDARY_IDS),
+        epochs=make_epochs(rng),
+    ),
 }
 
 RESPONSE_MAKERS = {
@@ -212,23 +265,50 @@ RESPONSE_MAKERS = {
         codecs=tuple(rng.sample(("binary", "json"), rng.randint(1, 2)))
     ),
     CreateColumnResponse: lambda rng: CreateColumnResponse(
-        column=make_column(rng), rows_stored=rng.choice(BOUNDARY_IDS)
+        column=make_column(rng), rows_stored=rng.choice(BOUNDARY_IDS),
+        epoch=rng.choice((None, 0)),
     ),
     QueryResponse: lambda rng: QueryResponse(
         response=make_server_response(rng)
     ),
     FetchResponse: lambda rng: FetchResponse(rows=make_rows(rng)),
-    InsertResponse: lambda rng: InsertResponse(row_ids=make_ids(rng)),
-    DeleteResponse: lambda rng: DeleteResponse(
-        deleted=rng.choice(BOUNDARY_IDS)
+    InsertResponse: lambda rng: InsertResponse(
+        row_ids=make_ids(rng), epoch=rng.choice((None, 1, 2 ** 40))
     ),
-    MergeResponse: lambda rng: MergeResponse(delta=-rng.choice(BOUNDARY_IDS)),
+    DeleteResponse: lambda rng: DeleteResponse(
+        deleted=rng.choice(BOUNDARY_IDS),
+        epoch=rng.choice((None, 1, 2 ** 40)),
+    ),
+    MergeResponse: lambda rng: MergeResponse(
+        delta=-rng.choice(BOUNDARY_IDS),
+        epoch=rng.choice((None, 1, 2 ** 40)),
+    ),
     RotateBeginResponse: lambda rng: RotateBeginResponse(
         response=make_server_response(rng),
         fence=rng.choice((None, 1, 2 ** 33)),
     ),
     RotateApplyResponse: lambda rng: RotateApplyResponse(
-        rows_stored=rng.choice(BOUNDARY_IDS)
+        rows_stored=rng.choice(BOUNDARY_IDS),
+        epoch=rng.choice((None, 1, 2 ** 40)),
+    ),
+    ReplicateSubscribeResponse: lambda rng: ReplicateSubscribeResponse(
+        snapshot={
+            "version": 3,
+            "columns": [],
+            "epochs": make_epochs(rng),
+        },
+        seq=rng.choice(BOUNDARY_IDS),
+    ),
+    ReplicateEntriesResponse: lambda rng: ReplicateEntriesResponse(
+        entries=tuple(
+            make_wal_entry(rng, seq)
+            for seq in range(1, rng.randint(1, 4))
+        ),
+        seq=rng.choice(BOUNDARY_IDS),
+        reset=rng.random() < 0.2,
+    ),
+    ReplicateAckResponse: lambda rng: ReplicateAckResponse(
+        lag_epochs=rng.choice(BOUNDARY_IDS)
     ),
     TelemetryResponse: lambda rng: TelemetryResponse(
         sections=make_telemetry_sections(rng)

@@ -275,3 +275,194 @@ class TestSessionServerRestore:
         )
         with pytest.raises(ProtocolError):
             db.server = SecureServer.__new__(SecureServer)
+
+
+class TestCatalogSnapshotV3:
+    """Version-3 catalog snapshots carry per-column mutation epochs
+    (the WAL replay fence); v1/v2 snapshots restore with epoch 0."""
+
+    def make_warm_catalog(self):
+        from repro.net.catalog import ColumnCatalog
+        from repro.net.transport import LoopbackTransport
+        from repro.core.session import OutsourcedDatabase
+
+        catalog = ColumnCatalog()
+        db = OutsourcedDatabase(
+            [5, 1, 9, 3], seed=21, transport=LoopbackTransport(catalog),
+            column="t",
+        )
+        db.insert(42)
+        db.merge()
+        return catalog, db
+
+    def test_current_catalog_version_is_3(self):
+        from repro.core.persistence import (
+            CATALOG_SNAPSHOT_VERSION,
+            snapshot_catalog,
+        )
+
+        catalog, _ = self.make_warm_catalog()
+        assert CATALOG_SNAPSHOT_VERSION == 3
+        assert snapshot_catalog(catalog)["version"] == 3
+
+    def test_epochs_round_trip(self):
+        from repro.core.persistence import restore_catalog, snapshot_catalog
+
+        catalog, _ = self.make_warm_catalog()
+        assert catalog.epoch("t") == 2  # insert + merge
+        restored = restore_catalog(
+            json.loads(json.dumps(snapshot_catalog(catalog)))
+        )
+        assert restored.epochs() == catalog.epochs()
+
+    def test_wal_seq_round_trips(self):
+        from repro.core.persistence import snapshot_catalog
+
+        catalog, _ = self.make_warm_catalog()
+        snapshot = snapshot_catalog(catalog, wal_seq=17)
+        assert snapshot["wal_seq"] == 17
+
+    def test_v2_snapshot_restores_with_zero_epochs(self):
+        from repro.core.persistence import restore_catalog, snapshot_catalog
+
+        catalog, _ = self.make_warm_catalog()
+        snapshot = snapshot_catalog(catalog)
+        del snapshot["epochs"]
+        snapshot["version"] = 2
+        restored = restore_catalog(snapshot)
+        assert restored.epochs() == {"t": 0}
+
+    def test_epochs_for_unknown_columns_rejected(self):
+        from repro.core.persistence import restore_catalog, snapshot_catalog
+        from repro.errors import SerializationError
+
+        catalog, _ = self.make_warm_catalog()
+        snapshot = snapshot_catalog(catalog)
+        snapshot["epochs"]["ghost"] = 4
+        with pytest.raises(SerializationError):
+            restore_catalog(snapshot)
+
+
+class TestDurableRecovery:
+    """snapshot + WAL -> recover_catalog: the restart path."""
+
+    def make_durable(self, tmp_path):
+        from repro.core.wal import WalWriter
+        from repro.net.catalog import ColumnCatalog
+        from repro.net.transport import LoopbackTransport
+        from repro.core.session import OutsourcedDatabase
+
+        catalog = ColumnCatalog()
+        catalog.bind_wal(WalWriter(str(tmp_path), fsync="never"))
+        db = OutsourcedDatabase(
+            [5, 1, 9, 3], seed=23, transport=LoopbackTransport(catalog),
+            column="t",
+        )
+        return catalog, db
+
+    def test_recover_from_wal_only(self, tmp_path):
+        from repro.core.persistence import recover_catalog
+
+        catalog, db = self.make_durable(tmp_path)
+        db.insert(42)
+        db.merge()
+        recovered, info = recover_catalog(str(tmp_path))
+        assert info["snapshot"] is False
+        assert info["replayed"] == 3  # create + insert + merge
+        assert recovered.epochs() == catalog.epochs()
+
+    def test_recover_from_snapshot_plus_tail(self, tmp_path):
+        from repro.core.persistence import (
+            checkpoint_catalog,
+            recover_catalog,
+        )
+
+        catalog, db = self.make_durable(tmp_path)
+        db.insert(42)
+        db.merge()
+        checkpoint_catalog(catalog, str(tmp_path), catalog.wal)
+        db.insert(7)
+        db.merge()
+        recovered, info = recover_catalog(str(tmp_path))
+        assert info["snapshot"] is True
+        assert info["replayed"] == 2  # only the post-checkpoint tail
+        assert recovered.epochs() == catalog.epochs()
+        query = db.client.make_query(0, 100)
+        assert sorted(
+            map(int, recovered.server("t").execute(query).row_ids)
+        ) == sorted(map(int, catalog.server("t").execute(query).row_ids))
+
+    def test_recover_empty_directory(self, tmp_path):
+        from repro.core.persistence import recover_catalog
+
+        recovered, info = recover_catalog(str(tmp_path))
+        assert len(recovered) == 0
+        assert info == {"snapshot": False, "wal_seq": 0, "replayed": 0,
+                        "skipped": 0, "last_seq": 0}
+
+    def test_snapshot_file_corruption_is_typed(self, tmp_path):
+        import os
+        import random
+
+        from repro.core.persistence import (
+            SNAPSHOT_FILENAME,
+            checkpoint_catalog,
+            recover_catalog,
+        )
+        from repro.errors import PersistenceError
+
+        catalog, db = self.make_durable(tmp_path)
+        db.merge()
+        checkpoint_catalog(catalog, str(tmp_path), catalog.wal)
+        path = os.path.join(str(tmp_path), SNAPSHOT_FILENAME)
+        with open(path, "rb") as handle:
+            original = handle.read()
+        rng = random.Random("snapshot-fuzz")
+        for _ in range(60):
+            blob = bytearray(original)
+            if rng.random() < 0.5 and len(blob) > 1:
+                blob = blob[:rng.randrange(1, len(blob))]
+            else:
+                blob[rng.randrange(len(blob))] ^= rng.randint(1, 255)
+            with open(path, "wb") as handle:
+                handle.write(bytes(blob))
+            try:
+                recover_catalog(str(tmp_path))
+            except PersistenceError:
+                pass  # the typed contract: never KeyError/ValueError
+        with open(path, "wb") as handle:
+            handle.write(original)
+        recovered, _ = recover_catalog(str(tmp_path))
+        assert recovered.epochs() == catalog.epochs()
+
+    def test_atomic_snapshot_crash_leaves_previous_generation(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        from repro.core.persistence import (
+            checkpoint_catalog,
+            recover_catalog,
+        )
+        from repro.errors import PersistenceError
+
+        catalog, db = self.make_durable(tmp_path)
+        db.merge()
+        checkpoint_catalog(catalog, str(tmp_path), catalog.wal)
+        first = recover_catalog(str(tmp_path))[0].epochs()
+        db.insert(42)
+        db.merge()
+
+        def exploding_replace(src, dst):
+            raise OSError("power loss before rename")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(PersistenceError):
+            checkpoint_catalog(catalog, str(tmp_path), catalog.wal)
+        monkeypatch.undo()
+        # The old snapshot generation is intact, and the WAL still
+        # carries the mutations the failed checkpoint tried to fold in.
+        recovered, info = recover_catalog(str(tmp_path))
+        assert recovered.epochs() == catalog.epochs()
+        assert recovered.epochs() != first
+        assert info["replayed"] >= 2

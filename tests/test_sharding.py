@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.client import TrustedClient
 from repro.core.persistence import (
+    CATALOG_SNAPSHOT_VERSION,
     restore_catalog,
     snapshot_catalog,
 )
@@ -518,7 +519,7 @@ class TestPersistenceShards:
         values = list(range(0, 70, 10))
         db = OutsourcedDatabase(values, seed=31, shards=2, ambiguity=True)
         snapshot = snapshot_catalog(db._catalog)
-        assert snapshot["version"] == 2
+        assert snapshot["version"] == CATALOG_SNAPSHOT_VERSION
         restored = restore_catalog(snapshot)
         assert restored.shards() == db._catalog.shards()
         assert restored.column_names == db._catalog.column_names
